@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 10 (time variance for out-degree strategies).
+
+Paper result: on an out-degree-skewed graph, both Shadow-Nodes and Broadcast
+reduce the variance of per-instance time relative to the base configuration,
+and combining them (SN+BC) is the best setting for GraphSAGE.
+"""
+
+import pytest
+
+from repro.experiments import fig10_outdegree
+
+
+@pytest.mark.paper_artifact("fig10")
+def test_bench_fig10_outdegree_variance(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_outdegree.run(num_nodes=20_000, avg_degree=12.0, num_workers=16),
+        rounds=1, iterations=1)
+    print()
+    print(fig10_outdegree.format_result(result))
+    variances = result.variances()
+    assert variances["SN"] < variances["base"]
+    assert variances["BC"] < variances["base"]
+    assert variances["SN+BC"] < variances["base"]
+    assert variances["SN+BC"] <= min(variances["SN"], variances["BC"])

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 7 (prediction consistency under sampling).
+
+Paper result: with a sampling fanout of 10, ~30% of nodes receive at least two
+different predicted classes over 10 runs; even at fanout 1000 about 0.1% still
+flip; InferTurbo's full-graph inference is identical at every run.
+"""
+
+import pytest
+
+from repro.experiments import fig7_consistency
+
+
+@pytest.mark.paper_artifact("fig7")
+def test_bench_fig7_consistency(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7_consistency.run(fanouts=(2, 5, 10, 25), num_runs=10,
+                                     num_targets=256, size="tiny", num_epochs=4),
+        rounds=1, iterations=1)
+    print()
+    print(fig7_consistency.format_result(result))
+    fractions = [result.unstable_fraction(f) for f in result.fanouts]
+    # Smaller fanout -> more unstable predictions; InferTurbo never flips.
+    assert fractions[0] > fractions[-1]
+    assert result.inferturbo_unstable_fraction() == 0.0

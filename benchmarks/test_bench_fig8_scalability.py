@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 8 (cost vs. data scale).
+
+Paper result: on the MapReduce backend, a 2-layer GAT's wall-clock time and
+cpu*min both grow nearly linearly over three orders of magnitude of graph
+scale (the reproduction sweeps a 16× range; the log-log slope ≈ 1 is the
+reproduced property).
+"""
+
+import pytest
+
+from repro.experiments import fig8_scalability
+
+
+@pytest.mark.paper_artifact("fig8")
+def test_bench_fig8_scalability(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig8_scalability.run(scales=(2_000, 8_000, 32_000), backend="mapreduce",
+                                     num_workers=8),
+        rounds=1, iterations=1)
+    print()
+    print(fig8_scalability.format_result(result))
+    assert 0.8 < result.loglog_slope("cpu_minutes") < 1.2
+    assert 0.8 < result.loglog_slope("wall_clock_minutes") < 1.2

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 9 (per-instance latency vs. in-degree skew).
+
+Paper result: instance latency grows with the number of in-edge records the
+instance receives; partial-gather flattens the distribution (points cluster
+around the mean) and removes the stragglers.
+"""
+
+import pytest
+
+from repro.experiments import fig9_partial_gather
+
+
+@pytest.mark.paper_artifact("fig9")
+def test_bench_fig9_partial_gather_latency(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig9_partial_gather.run(num_nodes=20_000, avg_degree=12.0, num_workers=16),
+        rounds=1, iterations=1)
+    print()
+    print(fig9_partial_gather.format_result(result))
+    assert result.partial_gather.variance_of_time() < result.base.variance_of_time()
+    assert result.partial_gather.max_over_mean_time() <= result.base.max_over_mean_time()

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table I (dataset summary)."""
+
+import pytest
+
+from repro.experiments import table1_datasets
+
+
+@pytest.mark.paper_artifact("table1")
+def test_bench_table1_dataset_summary(benchmark):
+    result = benchmark.pedantic(lambda: table1_datasets.run(size="small"),
+                                rounds=1, iterations=1)
+    print()
+    print(table1_datasets.format_result(result))
+    assert len(result.rows) == 4

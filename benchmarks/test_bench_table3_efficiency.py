@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table III (time and resource vs. traditional pipelines).
+
+Paper result: InferTurbo is 30–50× faster and uses 40–50× less cpu*min than the
+traditional PyG/DGL-style inference pipeline on MAG240M, with the Pregel
+backend ahead of the MapReduce backend.
+"""
+
+import pytest
+
+from repro.experiments import table3_efficiency
+
+
+@pytest.mark.paper_artifact("table3")
+def test_bench_table3_time_and_resource(benchmark):
+    result = benchmark.pedantic(
+        lambda: table3_efficiency.run(size="small", num_workers=32,
+                                      archs=["sage", "gat"], cost_sample_size=128),
+        rounds=1, iterations=1)
+    print()
+    print(table3_efficiency.format_result(result))
+    for arch in ("sage", "gat"):
+        for backend in ("pregel", "mapreduce"):
+            print(f"{arch}/{backend}: speedup {result.speedup(arch, backend):.1f}x, "
+                  f"resource saving {result.resource_saving(arch, backend):.1f}x")
+    # Shape assertions: large speedups, Pregel ahead of MapReduce.
+    assert result.speedup("sage", "pregel") > 10
+    assert result.resource_saving("sage", "pregel") > 10
+    assert (result.by("sage", "pregel").wall_clock_minutes
+            < result.by("sage", "mapreduce").wall_clock_minutes)

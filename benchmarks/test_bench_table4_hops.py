@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table IV (time / resource vs. hops, with OOM).
+
+Paper result: traditional costs grow exponentially with the number of hops and
+the nbr10000 configuration runs out of memory at 3 hops, while InferTurbo's
+cost grows roughly linearly with the layer count.
+"""
+
+import pytest
+
+from repro.experiments import table4_hops
+
+
+@pytest.mark.paper_artifact("table4")
+def test_bench_table4_hops(benchmark):
+    result = benchmark.pedantic(lambda: table4_hops.run(num_workers=8),
+                                rounds=1, iterations=1)
+    print()
+    print(table4_hops.format_result(result))
+    print(f"nbr10000 growth 1->3 hops: "
+          f"{result.growth_ratio('nbr10000', 1, 3):.1f}x; "
+          f"ours: {result.growth_ratio('ours', 1, 3):.1f}x")
+    assert result.growth_ratio("nbr10000", 1, 3) > result.growth_ratio("ours", 1, 3)
+    assert result.by("nbr10000", 3).oom
+    assert not result.by("ours", 3).oom

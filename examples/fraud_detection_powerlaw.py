@@ -1,0 +1,76 @@
+"""Fraud detection on a power-law transaction graph — the paper's motivating case.
+
+Financial graphs are the paper's home turf: predictions must be *consistent*
+(a customer's risk score cannot change between two runs of the same model) and
+the graph has hub accounts with enormous degree.  This example:
+
+1. builds an out-degree-skewed power-law graph standing in for a transaction
+   network, with a binary "fraud" label;
+2. trains a GraphSAGE risk model on 1% labelled nodes;
+3. shows the consistency failure of sampling-based inference (the same nodes
+   get different risk classes across runs);
+4. runs InferTurbo with all hub-node strategies enabled and shows that
+   (a) predictions are identical across runs and (b) the straggler/IO load of
+   the hub-owning workers drops.
+
+Run:  python examples/fraud_detection_powerlaw.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import TraditionalConfig, TraditionalPipeline
+from repro.datasets import load_dataset
+from repro.gnn import build_model
+from repro.inference import InferTurbo, InferenceConfig, StrategyConfig
+from repro.training import TrainConfig, Trainer
+
+
+def main() -> None:
+    # A transaction-network stand-in: heavy-tailed out-degree, 2 classes.
+    dataset = load_dataset("powerlaw", num_nodes=8_000, avg_degree=10.0, skew="out", seed=1)
+    graph = dataset.graph
+    out_degrees = graph.out_degrees()
+    print(f"transaction graph: {graph.num_nodes} accounts, {graph.num_edges} transfers, "
+          f"max out-degree {out_degrees.max()} (hub accounts present)")
+
+    model = build_model("sage", dataset.feature_dim, 32, dataset.num_classes, num_layers=2, seed=0)
+    trainer = Trainer(model, graph, TrainConfig(num_epochs=4, batch_size=32, fanout=10, seed=0))
+    trainer.fit(dataset.train_nodes)
+
+    # --- The consistency problem of sampled inference ------------------- #
+    audit_nodes = np.arange(512)
+    sampled = TraditionalPipeline(model, TraditionalConfig(num_workers=4, fanout=5))
+    runs = []
+    for seed in range(3):
+        outcome = sampled.run(graph, targets=audit_nodes, compute_scores=True, seed=seed)
+        runs.append(outcome.scores[audit_nodes].argmax(axis=-1))
+    flips = np.mean([(runs[0] != runs[i]).mean() for i in (1, 2)])
+    print(f"sampling-based inference: {100 * flips:.1f}% of audited accounts change "
+          f"risk class between runs — unacceptable for a financial decision system")
+
+    # --- InferTurbo: full graph, hub strategies, consistent -------------- #
+    strategies = StrategyConfig(partial_gather=True, broadcast=True, shadow_nodes=True)
+    config = InferenceConfig(backend="pregel", num_workers=16, strategies=strategies)
+    first = InferTurbo(model, config).run(graph)
+    second = InferTurbo(model, config).run(graph)
+    assert np.array_equal(first.scores, second.scores)
+    risk_classes = first.predicted_classes()
+    print(f"InferTurbo: scored all {graph.num_nodes} accounts, "
+          f"{(risk_classes == 1).sum()} flagged; repeated run identical ✓")
+
+    # --- Hub-node load balancing ----------------------------------------- #
+    base = InferTurbo(model, InferenceConfig(backend="pregel", num_workers=16,
+                                             strategies=StrategyConfig(partial_gather=False))
+                      ).run(graph)
+    base_out = np.array(list(base.metrics.per_instance("bytes_out").values()))
+    tuned_out = np.array(list(first.metrics.per_instance("bytes_out").values()))
+    print(f"worst worker output IO: base {base_out.max() / 1e6:.2f} MB -> "
+          f"with strategies {tuned_out.max() / 1e6:.2f} MB")
+    print(f"simulated wall-clock: base {base.cost.wall_clock_seconds:.3f}s -> "
+          f"with strategies {first.cost.wall_clock_seconds:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Using the graph-processing substrate directly: PageRank on the Pregel engine.
+
+InferTurbo's Pregel backend is a general "think-like-a-vertex" engine, not a
+GNN-only shim.  This example runs classic PageRank as a per-vertex program
+with a sum combiner, then reuses the same engine's metrics to show per-worker
+message counts — the same counters the GNN inference experiments read.
+
+Run:  python examples/pregel_pagerank.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.pregel import PregelEngine, SumCombiner, VertexProgram
+
+
+class PageRank(VertexProgram):
+    """Standard damped PageRank, fixed iteration count."""
+
+    def __init__(self, num_iterations: int = 20, damping: float = 0.85) -> None:
+        self.num_iterations = num_iterations
+        self.damping = damping
+
+    def initial_value(self, vertex_id: int) -> float:
+        return 1.0
+
+    def compute(self, vertex, messages) -> None:
+        if vertex.superstep > 0:
+            vertex.value = (1.0 - self.damping) + self.damping * sum(messages)
+        if vertex.superstep < self.num_iterations:
+            out_edges = vertex.out_edges()
+            if out_edges.size:
+                vertex.send_message_to_all_neighbors(vertex.value / out_edges.size)
+        vertex.vote_to_halt()
+
+
+def main() -> None:
+    dataset = load_dataset("powerlaw", num_nodes=3_000, avg_degree=8.0, skew="in", seed=2)
+    graph = dataset.graph
+    engine = PregelEngine(graph, num_workers=8, combiner=SumCombiner())
+    result = engine.run(PageRank(num_iterations=20))
+
+    ranks = np.array([result.vertex_values[node] for node in range(graph.num_nodes)])
+    top = np.argsort(ranks)[::-1][:5]
+    print(f"PageRank over {graph.num_nodes} nodes finished in {result.num_supersteps} supersteps")
+    print("top-5 nodes by rank:")
+    in_degrees = graph.in_degrees()
+    for node in top:
+        print(f"  node {node:>6}  rank {ranks[node]:.3f}  in-degree {in_degrees[node]}")
+
+    records = result.metrics.per_instance("records_out")
+    print(f"messages sent per worker (combiner on): "
+          f"min {min(records.values()):.0f}  max {max(records.values()):.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""InferTurbo reproduction — scalable full-graph GNN inference.
+
+Public API overview
+-------------------
+
+* :mod:`repro.tensor`     — numpy autodiff + NN substrate
+* :mod:`repro.graph`      — attributed graphs, tables, partitioning, sampling
+* :mod:`repro.gnn`        — GAS-abstraction GNN layers and model signatures
+* :mod:`repro.training`   — mini-batch k-hop training
+* :mod:`repro.batch`      — MapReduce-like batch processing backend
+* :mod:`repro.pregel`     — Pregel-like graph processing backend
+* :mod:`repro.cluster`    — cluster resource / cost model
+* :mod:`repro.inference`  — the InferTurbo engine and its optimisation strategies
+* :mod:`repro.baselines`  — traditional (k-hop sampling) inference pipeline
+* :mod:`repro.datasets`   — synthetic stand-ins for the paper's datasets
+* :mod:`repro.experiments` — harnesses regenerating every paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "graph",
+    "gnn",
+    "training",
+    "batch",
+    "pregel",
+    "cluster",
+    "inference",
+    "baselines",
+    "datasets",
+    "experiments",
+]

@@ -1,0 +1,25 @@
+"""Traditional (PyG/DGL-style) inference pipeline used as the paper's baseline.
+
+The baseline imitates how current graph learning systems run inference: a
+distributed graph store serves (sampled) k-hop neighbourhoods, inference
+workers pull one batch of target nodes at a time, materialise the
+neighbourhood locally and run the full localized forward pass.  This pipeline
+exhibits the three problems the paper attacks — redundant computation across
+overlapping neighbourhoods, stochastic predictions when sampling is used, and
+memory blow-ups for deep hops / large fanouts — and the experiments measure
+all three against InferTurbo.
+"""
+
+from repro.baselines.graph_store import DistributedGraphStore
+from repro.baselines.khop_pipeline import (
+    TraditionalConfig,
+    TraditionalPipeline,
+    TraditionalResult,
+)
+
+__all__ = [
+    "DistributedGraphStore",
+    "TraditionalConfig",
+    "TraditionalPipeline",
+    "TraditionalResult",
+]

@@ -1,0 +1,229 @@
+"""MapReduce engine: map → combine → shuffle → reduce with instance counters.
+
+A job implements :class:`MapReduceJob`; the engine splits the input among
+mappers, runs the map function, optionally combines mapper output per key
+(the sender-side pre-aggregation the partial-gather strategy rides on), hash
+shuffles by key to reducers, and runs either the per-key ``reduce`` or the
+vectorised per-instance ``reduce_partition``.  Every mapper/reducer instance
+records records/bytes/compute/spill counters into the shared
+:class:`~repro.cluster.metrics.MetricsCollector` so the cost model can price
+the run on an arbitrary cluster spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.storage import RecordStore, serialized_size
+from repro.cluster.metrics import MetricsCollector
+
+Record = Tuple[Any, Any]
+
+
+class TaskContext:
+    """Accounting handle passed to map/reduce implementations."""
+
+    def __init__(self, phase: str, instance_id: int) -> None:
+        self.phase = phase
+        self.instance_id = instance_id
+        self.compute_units = 0.0
+        self.peak_memory_bytes = 0.0
+
+    def add_compute(self, units: float) -> None:
+        self.compute_units += float(units)
+
+    def observe_memory(self, bytes_used: float) -> None:
+        self.peak_memory_bytes = max(self.peak_memory_bytes, float(bytes_used))
+
+
+class MapReduceJob:
+    """Base class for MapReduce jobs.
+
+    Override :meth:`map` and either :meth:`reduce` (per key) or
+    :meth:`reduce_partition` (whole reducer at once, for vectorised work).
+    :meth:`combine` runs on mapper output per key when implemented.
+    """
+
+    def map(self, key: Any, value: Any, context: TaskContext) -> Iterable[Record]:
+        raise NotImplementedError
+
+    def map_partition(self, records: List[Record], context: TaskContext) -> Iterable[Record]:
+        """Optional whole-split mapper; default loops over :meth:`map`."""
+        outputs: List[Record] = []
+        for key, value in records:
+            outputs.extend(self.map(key, value, context))
+        return outputs
+
+    uses_partition_map: bool = False
+
+    def combine(self, key: Any, values: List[Any], context: TaskContext) -> Iterable[Record]:
+        """Optional mapper-side combiner; default passes records through."""
+        return [(key, value) for value in values]
+
+    has_combiner: bool = False
+
+    def reduce(self, key: Any, values: List[Any], context: TaskContext) -> Iterable[Record]:
+        raise NotImplementedError
+
+    def reduce_partition(self, groups: List[Tuple[Any, List[Any]]],
+                         context: TaskContext) -> Iterable[Record]:
+        """Optional whole-partition reducer; default loops over :meth:`reduce`."""
+        outputs: List[Record] = []
+        for key, values in groups:
+            outputs.extend(self.reduce(key, values, context))
+        return outputs
+
+    uses_partition_reduce: bool = False
+
+
+@dataclass
+class MapReduceStats:
+    """Simple per-phase roll-up returned alongside the output records."""
+
+    phase: str
+    num_mappers: int
+    num_reducers: int
+    map_output_records: int
+    reduce_output_records: int
+    shuffle_bytes: float
+
+
+class MapReduceEngine:
+    """In-process MapReduce executor with per-instance accounting."""
+
+    def __init__(
+        self,
+        num_mappers: int,
+        num_reducers: int,
+        metrics: Optional[MetricsCollector] = None,
+        spill_to_disk: bool = False,
+        partition_fn: Optional[Callable[[Any, int], int]] = None,
+    ) -> None:
+        if num_mappers <= 0 or num_reducers <= 0:
+            raise ValueError("num_mappers and num_reducers must be positive")
+        self.num_mappers = int(num_mappers)
+        self.num_reducers = int(num_reducers)
+        self.metrics = metrics or MetricsCollector()
+        self.spill_to_disk = spill_to_disk
+        self._partition_fn = partition_fn or (lambda key, n: hash(key) % n)
+
+    # ------------------------------------------------------------------ #
+    def _split_input(self, records: Sequence[Record]) -> List[List[Record]]:
+        """Contiguous, near-equal splits of the input across mappers."""
+        splits: List[List[Record]] = [[] for _ in range(self.num_mappers)]
+        if not records:
+            return splits
+        per_mapper = int(np.ceil(len(records) / self.num_mappers))
+        for index in range(self.num_mappers):
+            splits[index] = list(records[index * per_mapper:(index + 1) * per_mapper])
+        return splits
+
+    # ------------------------------------------------------------------ #
+    def run(self, job: MapReduceJob, input_records: Sequence[Record],
+            phase: str = "mapreduce") -> Tuple[List[Record], MapReduceStats]:
+        """Run one full map → shuffle → reduce round and return reducer output."""
+        map_phase = f"{phase}/map"
+        reduce_phase = f"{phase}/reduce"
+        splits = self._split_input(input_records)
+
+        # ------------------------- map side ---------------------------- #
+        shuffle_buckets: List[RecordStore] = [
+            RecordStore(spill_to_disk=self.spill_to_disk) for _ in range(self.num_reducers)
+        ]
+        map_output_records = 0
+        for mapper_id, split in enumerate(splits):
+            context = TaskContext(map_phase, mapper_id)
+            bytes_in = sum(serialized_size(record) for record in split)
+            if job.uses_partition_map:
+                emitted = list(job.map_partition(split, context))
+            else:
+                emitted = []
+                for key, value in split:
+                    emitted.extend(job.map(key, value, context))
+            if job.has_combiner:
+                grouped: Dict[Any, List[Any]] = {}
+                order: List[Any] = []
+                for key, value in emitted:
+                    if key not in grouped:
+                        grouped[key] = []
+                        order.append(key)
+                    grouped[key].append(value)
+                combined: List[Record] = []
+                for key in order:
+                    combined.extend(job.combine(key, grouped[key], context))
+                emitted = combined
+            bytes_out = 0.0
+            for key, value in emitted:
+                bucket = self._partition_fn(key, self.num_reducers)
+                record = (key, value)
+                shuffle_buckets[bucket].append(record)
+                bytes_out += serialized_size(record)
+            map_output_records += len(emitted)
+            self.metrics.record(
+                map_phase, mapper_id,
+                compute_units=context.compute_units,
+                bytes_in=bytes_in, bytes_out=bytes_out,
+                records_in=len(split), records_out=len(emitted),
+                peak_memory_bytes=context.peak_memory_bytes,
+                disk_bytes=bytes_in + bytes_out,
+            )
+
+        # ------------------------ reduce side --------------------------- #
+        outputs: List[Record] = []
+        reduce_output_records = 0
+        shuffle_bytes = 0.0
+        for reducer_id, bucket in enumerate(shuffle_buckets):
+            context = TaskContext(reduce_phase, reducer_id)
+            grouped: Dict[Any, List[Any]] = {}
+            order: List[Any] = []
+            bytes_in = 0.0
+            records_in = 0
+            for key, value in bucket:
+                if key not in grouped:
+                    grouped[key] = []
+                    order.append(key)
+                grouped[key].append(value)
+                bytes_in += serialized_size((key, value))
+                records_in += 1
+            shuffle_bytes += bytes_in
+            groups = [(key, grouped[key]) for key in order]
+            if job.uses_partition_reduce:
+                emitted = list(job.reduce_partition(groups, context))
+            else:
+                emitted = []
+                for key, values in groups:
+                    emitted.extend(job.reduce(key, values, context))
+            bytes_out = sum(serialized_size(record) for record in emitted)
+            reduce_output_records += len(emitted)
+            outputs.extend(emitted)
+            self.metrics.record(
+                reduce_phase, reducer_id,
+                compute_units=context.compute_units,
+                bytes_in=bytes_in, bytes_out=bytes_out,
+                records_in=records_in, records_out=len(emitted),
+                peak_memory_bytes=context.peak_memory_bytes,
+                disk_bytes=bytes_in + bytes_out,
+            )
+            bucket.close()
+
+        stats = MapReduceStats(
+            phase=phase,
+            num_mappers=self.num_mappers,
+            num_reducers=self.num_reducers,
+            map_output_records=map_output_records,
+            reduce_output_records=reduce_output_records,
+            shuffle_bytes=shuffle_bytes,
+        )
+        return outputs, stats
+
+    # ------------------------------------------------------------------ #
+    def run_chained(self, jobs: Sequence[MapReduceJob], input_records: Sequence[Record],
+                    phase_prefix: str = "round") -> List[Record]:
+        """Run jobs back to back, feeding each round's output to the next."""
+        records: List[Record] = list(input_records)
+        for index, job in enumerate(jobs):
+            records, _ = self.run(job, records, phase=f"{phase_prefix}_{index}")
+        return records

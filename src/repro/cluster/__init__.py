@@ -1,0 +1,27 @@
+"""Cluster resource model and cost accounting.
+
+The paper reports wall-clock time, ``cpu*min`` resource usage, per-instance
+latency and per-instance IO bytes measured on Ant Group production clusters.
+This package provides the analytic stand-in: execution engines record
+per-instance counters (compute units, bytes in/out, records, peak memory) into
+a :class:`~repro.cluster.metrics.MetricsCollector`, and the
+:class:`~repro.cluster.cost_model.CostModel` converts them into simulated
+wall-clock / cpu*min numbers for a configurable
+:class:`~repro.cluster.resources.ClusterSpec`, including out-of-memory
+detection.  Absolute values are not meaningful; relative shape (who wins, by
+what factor, where the OOM cliff is) is what the experiments reproduce.
+"""
+
+from repro.cluster.resources import WorkerSpec, ClusterSpec, OutOfMemoryError
+from repro.cluster.metrics import InstanceMetrics, MetricsCollector
+from repro.cluster.cost_model import CostModel, CostSummary
+
+__all__ = [
+    "WorkerSpec",
+    "ClusterSpec",
+    "OutOfMemoryError",
+    "InstanceMetrics",
+    "MetricsCollector",
+    "CostModel",
+    "CostSummary",
+]

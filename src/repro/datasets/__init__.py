@@ -1,0 +1,15 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on PPI, OGB-Products, OGB-MAG240M and a synthetic
+Power-Law graph (Table I).  The first three are real-world datasets that are
+not available offline and are far larger than a laptop reproduction can hold,
+so each is replaced by a seeded synthetic graph that preserves the properties
+the experiments actually exercise: feature dimensionality, number of classes,
+single- vs multi-label task, rough density, and (for Power-Law) the degree
+skew.  The registry records the paper's original statistics next to the
+reproduction's so EXPERIMENTS.md can show both.
+"""
+
+from repro.datasets.registry import Dataset, DatasetSpec, load_dataset, list_datasets, PAPER_STATS
+
+__all__ = ["Dataset", "DatasetSpec", "load_dataset", "list_datasets", "PAPER_STATS"]

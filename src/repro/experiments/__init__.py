@@ -1,0 +1,55 @@
+"""Experiment harnesses — one module per table / figure of the paper.
+
+Every module exposes a ``run(...)`` function with laptop-sized defaults that
+returns a small result dataclass, plus a ``format_result`` helper that prints
+the same rows/series the paper reports.  The benchmarks under ``benchmarks/``
+call these functions; EXPERIMENTS.md records paper-vs-measured values.
+
+=====================  =====================================================
+module                 paper artefact
+=====================  =====================================================
+table1_datasets        Table I   — dataset summary
+table2_performance     Table II  — accuracy parity (SAGE/GAT × 3 datasets)
+table3_efficiency      Table III — time / cpu*min vs traditional pipelines
+table4_hops            Table IV  — time / resource vs number of hops
+fig7_consistency       Fig. 7    — prediction consistency under sampling
+fig8_scalability       Fig. 8    — time / resource vs data scale
+fig9_partial_gather    Fig. 9    — per-instance latency vs in-degree skew
+fig10_outdegree        Fig. 10   — variance of instance time per strategy
+fig11_io_partial       Fig. 11   — input bytes per instance (partial-gather)
+fig12_io_broadcast     Fig. 12   — output bytes per instance (broadcast)
+fig13_io_shadow        Fig. 13   — output bytes per instance (shadow-nodes)
+=====================  =====================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    common,
+    reporting,
+    table1_datasets,
+    table2_performance,
+    table3_efficiency,
+    table4_hops,
+    fig7_consistency,
+    fig8_scalability,
+    fig9_partial_gather,
+    fig10_outdegree,
+    fig11_io_partial,
+    fig12_io_broadcast,
+    fig13_io_shadow,
+)
+
+__all__ = [
+    "common",
+    "reporting",
+    "table1_datasets",
+    "table2_performance",
+    "table3_efficiency",
+    "table4_hops",
+    "fig7_consistency",
+    "fig8_scalability",
+    "fig9_partial_gather",
+    "fig10_outdegree",
+    "fig11_io_partial",
+    "fig12_io_broadcast",
+    "fig13_io_shadow",
+]

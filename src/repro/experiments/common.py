@@ -1,0 +1,64 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.registry import Dataset, load_dataset
+from repro.gnn.model import GNNModel, build_model
+from repro.inference import InferTurbo, InferenceConfig, StrategyConfig
+from repro.inference.inferturbo import InferenceResult
+from repro.training.trainer import TrainConfig, Trainer
+
+
+def train_model(dataset: Dataset, arch: str, hidden_dim: int = 64, num_layers: int = 2,
+                num_epochs: int = 5, fanout: Optional[int] = 10, seed: int = 0,
+                learning_rate: float = 0.01) -> Tuple[GNNModel, Trainer]:
+    """Train a model on a dataset's training split with small defaults."""
+    model = build_model(arch, dataset.feature_dim, hidden_dim, dataset.num_classes,
+                        num_layers=num_layers, seed=seed)
+    config = TrainConfig(num_epochs=num_epochs, batch_size=64, learning_rate=learning_rate,
+                         fanout=fanout, multilabel=dataset.multilabel, seed=seed)
+    trainer = Trainer(model, dataset.graph, config)
+    trainer.fit(dataset.train_nodes)
+    return model, trainer
+
+
+def untrained_model(dataset: Dataset, arch: str, hidden_dim: int = 64, num_layers: int = 2,
+                    seed: int = 0) -> GNNModel:
+    """A freshly initialised model (cost experiments do not need training)."""
+    return build_model(arch, dataset.feature_dim, hidden_dim, dataset.num_classes,
+                       num_layers=num_layers, seed=seed)
+
+
+def run_inferturbo(model: GNNModel, dataset: Dataset, backend: str = "pregel",
+                   num_workers: int = 8, strategies: Optional[StrategyConfig] = None,
+                   collect_embeddings: bool = False) -> InferenceResult:
+    """Run full-graph inference with the given backend and strategies."""
+    config = InferenceConfig(backend=backend, num_workers=num_workers,
+                             strategies=strategies or StrategyConfig(),
+                             collect_embeddings=collect_embeddings)
+    engine = InferTurbo(model, config)
+    return engine.run(dataset.graph)
+
+
+def evaluate_scores(dataset: Dataset, scores: np.ndarray, nodes: np.ndarray) -> float:
+    """Task-appropriate metric (accuracy or micro-F1) on the given node split."""
+    from repro.tensor.losses import accuracy, micro_f1
+
+    labels = dataset.graph.labels[nodes]
+    if dataset.multilabel:
+        return micro_f1(scores[nodes], labels)
+    return accuracy(scores[nodes], labels)
+
+
+def tail_mean(values: Dict[int, float], tail_fraction: float = 0.1) -> float:
+    """Mean of the largest ``tail_fraction`` of the values (straggler tail)."""
+    if not values:
+        return 0.0
+    ordered = np.sort(np.fromiter(values.values(), dtype=np.float64))
+    tail = max(1, int(np.ceil(ordered.size * tail_fraction)))
+    return float(ordered[-tail:].mean())

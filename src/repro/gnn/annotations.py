@@ -1,0 +1,119 @@
+"""Annotation decorators for the GAS computation stages.
+
+The paper marks each overridden computation method with a decorator
+(``@Gather(partial=True)``, ``@ApplyNode``, ``@ApplyEdge``); the decorator
+records, per layer, which stage the function implements and whether the stage
+may be relocated (partial-gather pushes the aggregate computation onto the
+sender side / the backend combiner).  At model-export time the annotations are
+written into the layer-wise signature file so the inference adaptors can
+reorganise the computation flow without manual configuration.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class StageAnnotation:
+    """Metadata attached to a stage implementation.
+
+    Attributes
+    ----------
+    stage:
+        One of ``"gather"``, ``"apply_node"``, ``"apply_edge"``.
+    partial:
+        For the gather stage only: whether the aggregate computation obeys the
+        commutative and associative laws, making partial-gather (combiner-side
+        pre-aggregation) legal.
+    options:
+        Free-form extra flags recorded into the signature file (e.g. the
+        pooling kind), available to the inference adaptors.
+    """
+
+    stage: str
+    partial: bool = False
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"stage": self.stage, "partial": self.partial, "options": dict(self.options)}
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "StageAnnotation":
+        return StageAnnotation(stage=payload["stage"], partial=bool(payload.get("partial", False)),
+                               options=dict(payload.get("options", {})))
+
+
+_ANNOTATION_ATTR = "__gas_stage_annotation__"
+
+
+def _annotate(func: Callable, annotation: StageAnnotation) -> Callable:
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        return func(*args, **kwargs)
+
+    setattr(wrapper, _ANNOTATION_ATTR, annotation)
+    return wrapper
+
+
+def gather_stage(partial: bool = False, **options: Any) -> Callable[[Callable], Callable]:
+    """Mark a method as the *aggregate* computation of the Gather stage.
+
+    ``partial=True`` asserts the computation is commutative and associative,
+    enabling the partial-gather strategy (sender-side / combiner pre-reduce).
+    """
+
+    def decorator(func: Callable) -> Callable:
+        return _annotate(func, StageAnnotation("gather", partial=partial, options=options))
+
+    return decorator
+
+
+def apply_node_stage(func: Optional[Callable] = None, **options: Any):
+    """Mark a method as the Apply stage (node state update)."""
+
+    def decorator(inner: Callable) -> Callable:
+        return _annotate(inner, StageAnnotation("apply_node", options=options))
+
+    if func is not None:
+        return decorator(func)
+    return decorator
+
+
+def apply_edge_stage(func: Optional[Callable] = None, **options: Any):
+    """Mark a method as the apply_edge computation of the Scatter stage."""
+
+    def decorator(inner: Callable) -> Callable:
+        return _annotate(inner, StageAnnotation("apply_edge", options=options))
+
+    if func is not None:
+        return decorator(func)
+    return decorator
+
+
+def stage_annotation(func: Callable) -> Optional[StageAnnotation]:
+    """Return the :class:`StageAnnotation` attached to ``func`` (or None)."""
+    return getattr(func, _ANNOTATION_ATTR, None)
+
+
+def collect_annotations(obj: Any) -> Dict[str, StageAnnotation]:
+    """Collect stage annotations from an object's bound methods.
+
+    Returns a mapping from method name to annotation; used when exporting the
+    layer-wise signature files.
+    """
+    annotations: Dict[str, StageAnnotation] = {}
+    for name in dir(obj):
+        if name.startswith("__"):
+            continue
+        try:
+            attribute = getattr(obj, name)
+        except AttributeError:  # pragma: no cover - defensive
+            continue
+        if callable(attribute):
+            annotation = stage_annotation(attribute)
+            if annotation is not None:
+                annotations[name] = annotation
+    return annotations

@@ -1,0 +1,186 @@
+"""GASConv — the base class every GNN layer implements in this system.
+
+A layer describes its computation flow through three overridable methods
+(``gather``, ``apply_node``, ``apply_edge``) plus the built-in, final
+``scatter``.  The same object is used in two modes:
+
+* **training** — :meth:`forward` runs the whole layer over a local (k-hop)
+  subgraph held in tensors, exactly as the paper's Fig. 3 pseudo-code;
+* **inference** — the backend adaptors call the individual stages: messages
+  arrive from the data-flow layer (Pregel messages or MapReduce shuffle), are
+  vectorised, pushed through ``gather``/``apply_node``, and the new state is
+  turned into out-edge messages by ``apply_edge``/``scatter``.
+
+The ``aggregate_kind`` property declares the reduction semantics of the
+gather stage (``sum``/``mean``/``max``/``union``); together with the
+``partial`` annotation flag it tells the inference engine whether messages may
+be pre-aggregated on the sender side (partial-gather) and how partially
+aggregated payloads are merged.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.gnn.annotations import collect_annotations, stage_annotation
+from repro.tensor import ops
+from repro.tensor.nn import Module
+from repro.tensor.tensor import Tensor
+
+
+class LayerMode(enum.Enum):
+    """Execution mode passed to :meth:`GASConv.forward`."""
+
+    TRAIN = "train"
+    PREDICT = "predict"
+
+
+class GASConv(Module):
+    """Base class for GNN layers in the GAS-like abstraction.
+
+    Subclasses must override :meth:`gather`, :meth:`apply_node` and
+    :meth:`apply_edge`, decorating them with
+    :func:`~repro.gnn.annotations.gather_stage`,
+    :func:`~repro.gnn.annotations.apply_node_stage` and
+    :func:`~repro.gnn.annotations.apply_edge_stage` respectively, and declare
+    ``in_dim`` / ``out_dim`` / ``message_dim`` so the inference engine can size
+    message buffers.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int) -> None:
+        super().__init__()
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+
+    # ------------------------------------------------------------------ #
+    # declarative metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def aggregate_kind(self) -> str:
+        """Reduction semantics of the gather stage: sum / mean / max / union."""
+        raise NotImplementedError
+
+    @property
+    def message_dim(self) -> int:
+        """Width of the per-edge message produced by :meth:`apply_edge`."""
+        return self.out_dim
+
+    @property
+    def supports_partial_gather(self) -> bool:
+        """Whether the gather stage was annotated with ``partial=True``."""
+        annotation = stage_annotation(type(self).gather)
+        return bool(annotation is not None and annotation.partial)
+
+    def config(self) -> Dict[str, Any]:
+        """Constructor arguments needed to rebuild this layer (for signatures)."""
+        return {"in_dim": self.in_dim, "out_dim": self.out_dim}
+
+    def annotations(self) -> Dict[str, Any]:
+        """Stage annotations of this layer, serialisable for the signature file."""
+        return {name: ann.to_dict() for name, ann in collect_annotations(self).items()}
+
+    # ------------------------------------------------------------------ #
+    # the five stages
+    # ------------------------------------------------------------------ #
+    def gather(self, message: Tensor, dst_index: np.ndarray, num_nodes: int,
+               counts: Optional[np.ndarray] = None):
+        """Aggregate computation of the Gather stage.
+
+        Parameters
+        ----------
+        message:
+            [M, message_dim] message rows (possibly already partially
+            aggregated by the sender-side combiner).
+        dst_index:
+            [M] local destination index of each message row.
+        num_nodes:
+            Number of local destination slots.
+        counts:
+            [M] number of original messages folded into each row; ``None``
+            means every row is a single raw message.  Only meaningful for
+            layers whose ``aggregate_kind`` needs it (mean).
+        """
+        raise NotImplementedError
+
+    def apply_node(self, node_state: Tensor, aggr_state) -> Tensor:
+        """Apply stage: combine previous node state with the gathered messages."""
+        raise NotImplementedError
+
+    def apply_edge(self, message: Tensor, edge_state: Optional[Tensor]) -> Tensor:
+        """apply_edge computation of the Scatter stage (per-out-edge message)."""
+        raise NotImplementedError
+
+    def scatter(self, node_state: Tensor, src_index: np.ndarray) -> Tensor:
+        """Built-in (final) data-flow part of Scatter: read state rows per edge."""
+        return ops.gather_rows(node_state, src_index)
+
+    # ------------------------------------------------------------------ #
+    # training / local forward
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        node_state: Tensor,
+        src_index: np.ndarray,
+        dst_index: np.ndarray,
+        edge_state: Optional[Tensor] = None,
+        num_nodes: Optional[int] = None,
+        mode: LayerMode = LayerMode.TRAIN,
+    ) -> Tensor:
+        """Run the full layer over a local subgraph held in tensors.
+
+        This is the path used by mini-batch training and by the traditional
+        inference baseline.  ``mode=PREDICT`` forces the un-fused default
+        scatter→apply_edge→gather→apply_node path (matching the paper's
+        pseudo-code, where the fused ``scatter_and_gather`` shortcut is a
+        training-only optimisation).
+        """
+        if num_nodes is None:
+            num_nodes = node_state.shape[0]
+
+        def default_scatter_and_gather() -> Any:
+            message = self.scatter(node_state, src_index)
+            message = self.apply_edge(message, edge_state)
+            return self.gather(message, dst_index, num_nodes)
+
+        if mode is LayerMode.PREDICT:
+            aggr_state = default_scatter_and_gather()
+        else:
+            fused = getattr(self, "scatter_and_gather", None)
+            if fused is not None and edge_state is None:
+                aggr_state = fused(node_state, src_index, dst_index, num_nodes)
+            else:
+                aggr_state = default_scatter_and_gather()
+        return self.apply_node(node_state, aggr_state)
+
+    # ------------------------------------------------------------------ #
+    # partial-aggregation helpers shared by the inference engine
+    # ------------------------------------------------------------------ #
+    def partial_reduce(self, message: np.ndarray, counts: Optional[np.ndarray] = None
+                       ) -> Tuple[np.ndarray, int]:
+        """Fold a block of raw/partial message rows bound for one destination.
+
+        Returns ``(payload_row, count)`` where ``payload_row`` is a single row
+        that, merged with other partials through the same rule, reproduces the
+        exact full aggregation.  Only valid when
+        :attr:`supports_partial_gather` is True.
+        """
+        if not self.supports_partial_gather:
+            raise RuntimeError(
+                f"{type(self).__name__} does not declare a commutative/associative "
+                "aggregate; partial reduction is not legal"
+            )
+        message = np.asarray(message, dtype=np.float64)
+        if counts is None:
+            counts = np.ones(message.shape[0], dtype=np.int64)
+        total = int(np.asarray(counts).sum())
+        kind = self.aggregate_kind
+        if kind in ("sum", "mean"):
+            # Mean is carried as (partial sum, count); the division happens in
+            # gather() once all partials have arrived.
+            return message.sum(axis=0), total
+        if kind == "max":
+            return message.max(axis=0), total
+        raise RuntimeError(f"aggregate kind {kind!r} cannot be partially reduced")

@@ -1,0 +1,105 @@
+"""Node/edge table format — the "data warehouse" view of a graph.
+
+The paper's MapReduce backend (Section IV-C2) takes two tables from the data
+warehouse as input:
+
+* a **node table** with ``node id, node features, ids of all out-edge
+  neighbours``;
+* an **edge table** with ``source node id, destination node id, edge
+  features``.
+
+These classes reproduce that contract and the conversions to and from the
+in-memory :class:`~repro.graph.graph.Graph` used by the training phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class NodeTable:
+    """Columnar node table: id, features, out-neighbour adjacency lists."""
+
+    node_ids: np.ndarray                 # [N] int64
+    features: Optional[np.ndarray]       # [N, F] float64 or None
+    out_neighbors: List[np.ndarray]      # length N, each [deg_out] int64
+    labels: Optional[np.ndarray] = None  # [N] or [N, C] or None
+
+    def __post_init__(self) -> None:
+        self.node_ids = np.asarray(self.node_ids, dtype=np.int64)
+        if self.features is not None:
+            self.features = np.asarray(self.features, dtype=np.float64)
+            if self.features.shape[0] != self.node_ids.shape[0]:
+                raise ValueError("features rows must match node_ids length")
+        if len(self.out_neighbors) != self.node_ids.shape[0]:
+            raise ValueError("out_neighbors must have one entry per node")
+
+    def __len__(self) -> int:
+        return int(self.node_ids.shape[0])
+
+    def num_out_edges(self) -> int:
+        return int(sum(len(nbrs) for nbrs in self.out_neighbors))
+
+    def row(self, position: int) -> Tuple[int, Optional[np.ndarray], np.ndarray]:
+        """Return (node_id, feature vector, out-neighbour ids) for a row."""
+        feature = None if self.features is None else self.features[position]
+        return int(self.node_ids[position]), feature, self.out_neighbors[position]
+
+
+@dataclass
+class EdgeTable:
+    """Columnar edge table: src, dst, optional edge features."""
+
+    src: np.ndarray                       # [E] int64
+    dst: np.ndarray                       # [E] int64
+    features: Optional[np.ndarray] = None  # [E, Fe] float64 or None
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if self.features is not None:
+            self.features = np.asarray(self.features, dtype=np.float64)
+            if self.features.shape[0] != self.src.shape[0]:
+                raise ValueError("features rows must match edge count")
+
+    def __len__(self) -> int:
+        return int(self.src.shape[0])
+
+
+def graph_to_tables(graph: Graph) -> Tuple[NodeTable, EdgeTable]:
+    """Export an in-memory graph to the warehouse table format."""
+    out_neighbors = [graph.out_neighbors(node).copy() for node in range(graph.num_nodes)]
+    node_table = NodeTable(
+        node_ids=np.arange(graph.num_nodes, dtype=np.int64),
+        features=graph.node_features,
+        out_neighbors=out_neighbors,
+        labels=graph.labels,
+    )
+    edge_table = EdgeTable(src=graph.src.copy(), dst=graph.dst.copy(),
+                           features=graph.edge_features)
+    return node_table, edge_table
+
+
+def tables_to_graph(node_table: NodeTable, edge_table: EdgeTable) -> Graph:
+    """Rebuild an in-memory graph from warehouse tables.
+
+    Node ids are assumed to be dense [0, N); the edge table is the source of
+    truth for edges (the adjacency lists in the node table are redundant with
+    it and are validated for consistency in tests, not here).
+    """
+    return Graph(
+        src=edge_table.src,
+        dst=edge_table.dst,
+        node_features=node_table.features,
+        edge_features=edge_table.features,
+        labels=node_table.labels,
+        num_nodes=len(node_table),
+    )

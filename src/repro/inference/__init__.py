@@ -1,0 +1,42 @@
+"""InferTurbo — full-graph GNN inference over scalable backends.
+
+The public entry point is :class:`~repro.inference.inferturbo.InferTurbo`:
+load a trained model (or its exported signature), pick a backend
+(``"pregel"`` or ``"mapreduce"``) and a configuration, call
+:meth:`~repro.inference.inferturbo.InferTurbo.run` on a graph, and receive
+per-node predictions together with the simulated cluster cost breakdown.
+
+Hub-node optimisation strategies (paper Section IV-D):
+
+* **partial-gather** — when a layer's aggregate stage is commutative and
+  associative, messages bound for the same destination are pre-reduced on the
+  sender side (Pregel combiner / MapReduce combiner), flattening the long tail
+  caused by large *in*-degrees;
+* **broadcast** — hub nodes whose out-edge messages are identical publish one
+  payload per destination worker plus id-only references, compressing the
+  traffic caused by large *out*-degrees;
+* **shadow-nodes** — hub nodes are mirrored, each mirror taking a slice of the
+  out-edges (and a copy of all in-edges), balancing the sending load even when
+  messages differ per edge.
+
+All three strategies drop no information, so predictions are bit-identical to
+the single-machine forward pass — the property the consistency experiment
+(Fig. 7) relies on.
+"""
+
+from repro.inference.config import InferenceConfig, StrategyConfig
+from repro.inference.inferturbo import InferTurbo, InferenceResult
+from repro.inference.strategies import hub_threshold, StrategyPlan, build_strategy_plan
+from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
+
+__all__ = [
+    "InferenceConfig",
+    "StrategyConfig",
+    "InferTurbo",
+    "InferenceResult",
+    "hub_threshold",
+    "StrategyPlan",
+    "build_strategy_plan",
+    "ShadowNodePlan",
+    "apply_shadow_nodes",
+]

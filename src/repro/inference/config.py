@@ -1,0 +1,77 @@
+"""Configuration objects for the InferTurbo inference engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.resources import ClusterSpec
+
+
+@dataclass
+class StrategyConfig:
+    """Which hub-node strategies are enabled and how the threshold is chosen.
+
+    The threshold follows the paper's heuristic
+    ``threshold = hub_lambda * total_edges / num_workers`` (λ = 0.1 by
+    default); ``hub_threshold_override`` replaces the heuristic with an
+    explicit value, which the Fig. 12/13 threshold-sweep experiments use.
+    """
+
+    partial_gather: bool = True
+    broadcast: bool = False
+    shadow_nodes: bool = False
+    hub_lambda: float = 0.1
+    hub_threshold_override: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = []
+        if self.partial_gather:
+            parts.append("partial-gather")
+        if self.broadcast:
+            parts.append("broadcast")
+        if self.shadow_nodes:
+            parts.append("shadow-nodes")
+        return "+".join(parts) if parts else "base"
+
+
+@dataclass
+class InferenceConfig:
+    """Full configuration of an inference run.
+
+    Parameters
+    ----------
+    backend:
+        ``"pregel"`` (graph processing system) or ``"mapreduce"`` (batch
+        processing system).
+    num_workers:
+        Number of simulated instances (Pregel partitions, or MapReduce
+        mappers/reducers per round).
+    cluster:
+        Worker resource spec used by the cost model; defaults to the paper's
+        per-backend flavour scaled down.
+    strategies:
+        Hub-node strategy switches (see :class:`StrategyConfig`).
+    collect_embeddings:
+        When True the result also carries the final-layer embeddings, not just
+        the prediction scores.
+    """
+
+    backend: str = "pregel"
+    num_workers: int = 8
+    cluster: Optional[ClusterSpec] = None
+    strategies: StrategyConfig = field(default_factory=StrategyConfig)
+    collect_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("pregel", "mapreduce"):
+            raise ValueError("backend must be 'pregel' or 'mapreduce'")
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.cluster is None:
+            if self.backend == "pregel":
+                self.cluster = ClusterSpec.pregel_default(self.num_workers)
+            else:
+                self.cluster = ClusterSpec.mapreduce_default(self.num_workers)
+        elif self.cluster.num_workers != self.num_workers:
+            self.cluster = ClusterSpec(num_workers=self.num_workers, worker=self.cluster.worker)

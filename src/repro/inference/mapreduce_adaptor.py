@@ -1,0 +1,338 @@
+"""InferTurbo adaptor for the MapReduce (batch processing) backend.
+
+The pipeline mirrors the paper's Section IV-C2:
+
+* **Map (initialisation)** — read node-table rows, encode raw features into
+  the layer-0 state, then emit (a) the node's own state + out-edge adjacency
+  to itself and (b) layer-0 messages to every out-edge neighbour;
+* **Reduce round r** — for every node key, gather the incoming messages, run
+  layer r's ``apply_node``, and emit the updated self state plus layer r+1's
+  messages (shuffle keys: the node itself, and the destination node ids);
+* the prediction head is merged into the last Reduce round, which emits one
+  output record per node.
+
+Unlike the Pregel backend nothing persists in worker memory between rounds —
+state is itself shuffled — so peak memory stays bounded (records stream
+through bounded chunks) at the price of more bytes moved, which is exactly the
+trade-off Table III measures.
+
+Record value formats (keys are node ids unless noted):
+
+* ``("s", h_row, out_nbrs, out_edge_feats)`` — self state + out adjacency
+* ``("m", payload_row, count)``              — an in-edge message
+* ``("r", hub_id, count)``                   — broadcast reference to a hub payload
+* ``("p", hub_id, payload_row)``             — broadcast payload, keyed ``("bc", bucket)``
+* ``("o", logits_row)``                      — final output record
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.batch.mapreduce import MapReduceEngine, MapReduceJob, TaskContext
+from repro.cluster.cost_model import gnn_layer_compute_units
+from repro.cluster.metrics import MetricsCollector, tensor_bytes
+from repro.gnn.model import GNNModel
+from repro.graph.graph import Graph
+from repro.inference.config import InferenceConfig
+from repro.inference.shadow import ShadowNodePlan
+from repro.inference.strategies import StrategyPlan
+from repro.tensor.tensor import Tensor, no_grad
+
+Record = Tuple[Any, Any]
+
+#: number of node groups processed together inside one reducer chunk; bounds
+#: the reducer's working set (the "stream from external storage" property).
+REDUCE_CHUNK_NODES = 4096
+
+
+def _partition_fn(key: Any, num_reducers: int) -> int:
+    """Route node ids by modulo; broadcast payload keys carry their bucket."""
+    if isinstance(key, tuple) and len(key) == 2 and key[0] == "bc":
+        return int(key[1]) % num_reducers
+    return int(key) % num_reducers
+
+
+class _ScatterMixin:
+    """Shared message-emission logic for the init map and the reduce rounds."""
+
+    model: GNNModel
+    plan: StrategyPlan
+    shadow_plan: Optional[ShadowNodePlan]
+    num_reducers: int
+
+    def _emit_messages(self, layer_index: int, node_ids: np.ndarray, state: np.ndarray,
+                       out_nbrs: List[np.ndarray], out_edge_feats: List[Optional[np.ndarray]],
+                       context: TaskContext) -> List[Record]:
+        """Build layer ``layer_index`` messages for the given nodes' out-edges."""
+        layer = self.model.layers[layer_index]
+        strategy = self.plan.layer(layer_index)
+        outputs: List[Record] = []
+        hub_set = self.plan.hub_set if strategy.broadcast else set()
+
+        total_edges = int(sum(len(nbrs) for nbrs in out_nbrs))
+        context.add_compute(total_edges * layer.message_dim)
+
+        for position in range(node_ids.shape[0]):
+            neighbors = out_nbrs[position]
+            if neighbors.size == 0:
+                continue
+            node_id = int(node_ids[position])
+            edge_feats = out_edge_feats[position]
+            state_rows = np.repeat(state[position][None, :], neighbors.size, axis=0)
+            with no_grad():
+                edge_tensor = None if edge_feats is None else Tensor(edge_feats)
+                messages = layer.apply_edge(Tensor(state_rows), edge_tensor).data
+
+            if node_id in hub_set and edge_feats is None:
+                # Broadcast: one payload per destination bucket + id-only refs.
+                # Destinations are expanded through the shadow-node replica map
+                # first so every reducer that will see a ref also gets the payload.
+                payload = messages[0]
+                ref_records: List[Record] = []
+                for dst in neighbors:
+                    ref_records.extend(self._route_message(int(dst), ("r", node_id, 1)))
+                buckets = {int(_partition_fn(int(key), self.num_reducers))
+                           for key, _ in ref_records}
+                for bucket in buckets:
+                    outputs.append((("bc", bucket), ("p", node_id, payload)))
+                outputs.extend(ref_records)
+            else:
+                for row, dst in enumerate(neighbors):
+                    outputs.extend(self._route_message(int(dst), ("m", messages[row], 1)))
+        return outputs
+
+    def _route_message(self, dst: int, value: Any) -> Iterable[Record]:
+        """Expand a message to all replicas of its destination (shadow nodes)."""
+        if self.shadow_plan is not None and dst in self.shadow_plan.replica_map:
+            return [(int(replica), value) for replica in self.shadow_plan.replica_map[dst]]
+        return [(dst, value)]
+
+
+class GNNRoundJob(MapReduceJob, _ScatterMixin):
+    """One MapReduce round = one GNN layer.
+
+    Round 0's map is the paper's initialisation Map phase (encode + first
+    scatter); later rounds use an identity map, because the previous round's
+    reducers already emitted records keyed by their destination node.  The
+    combiner on the map side implements partial-gather when the consuming
+    layer allows it; the reducer runs the layer itself (and the prediction
+    head on the last round).
+    """
+
+    uses_partition_map = True
+    uses_partition_reduce = True
+
+    def __init__(self, model: GNNModel, plan: StrategyPlan,
+                 shadow_plan: Optional[ShadowNodePlan], layer_index: int,
+                 num_reducers: int, original_num_nodes: int) -> None:
+        self.model = model
+        self.plan = plan
+        self.shadow_plan = shadow_plan
+        self.layer_index = layer_index
+        self.num_reducers = num_reducers
+        self.original_num_nodes = original_num_nodes
+        self.is_init_round = layer_index == 0
+        self.has_combiner = plan.layer(layer_index).partial_gather
+
+    # ------------------------------------------------------------------ #
+    def map_partition(self, records: List[Record], context: TaskContext) -> Iterable[Record]:
+        if not self.is_init_round or not records:
+            # Identity map: records already carry their destination node key.
+            return list(records)
+        node_ids = np.asarray([key for key, _ in records], dtype=np.int64)
+        features = np.stack([value[0] for _, value in records])
+        out_nbrs = [value[1] for _, value in records]
+        out_edge_feats = [value[2] for _, value in records]
+
+        with no_grad():
+            state = self.model.encode(Tensor(features)).data
+        context.add_compute(features.shape[0] * features.shape[1] * state.shape[1])
+        context.observe_memory(tensor_bytes(state.shape) + float(features.nbytes))
+
+        outputs: List[Record] = []
+        for position in range(node_ids.shape[0]):
+            outputs.append((int(node_ids[position]),
+                            ("s", state[position], out_nbrs[position], out_edge_feats[position])))
+        outputs.extend(self._emit_messages(0, node_ids, state, out_nbrs, out_edge_feats, context))
+        return outputs
+
+    def combine(self, key: Any, values: List[Any], context: TaskContext) -> Iterable[Record]:
+        return _combine_messages(self.model, self.plan, self.layer_index, key, values)
+
+    # ------------------------------------------------------------------ #
+    def reduce_partition(self, groups: List[Tuple[Any, List[Any]]],
+                         context: TaskContext) -> Iterable[Record]:
+        layer = self.model.layers[self.layer_index]
+        is_last = self.layer_index == self.model.num_layers - 1
+
+        # Broadcast payload lookup for this reducer instance.
+        payload_lookup: Dict[int, np.ndarray] = {}
+        node_groups: List[Tuple[int, List[Any]]] = []
+        for key, values in groups:
+            if isinstance(key, tuple) and key and key[0] == "bc":
+                for value in values:
+                    payload_lookup[int(value[1])] = value[2]
+            else:
+                node_groups.append((int(key), values))
+
+        outputs: List[Record] = []
+        for start in range(0, len(node_groups), REDUCE_CHUNK_NODES):
+            chunk = node_groups[start:start + REDUCE_CHUNK_NODES]
+            outputs.extend(self._reduce_chunk(chunk, payload_lookup, layer, is_last, context))
+        return outputs
+
+    def _reduce_chunk(self, chunk: List[Tuple[int, List[Any]]],
+                      payload_lookup: Dict[int, np.ndarray], layer, is_last: bool,
+                      context: TaskContext) -> List[Record]:
+        node_ids: List[int] = []
+        states: List[np.ndarray] = []
+        out_nbrs: List[np.ndarray] = []
+        out_edge_feats: List[Optional[np.ndarray]] = []
+        message_rows: List[np.ndarray] = []
+        message_dst: List[int] = []
+        message_counts: List[int] = []
+
+        for local_index, (node_id, values) in enumerate(chunk):
+            state_row = None
+            nbrs: np.ndarray = np.empty(0, dtype=np.int64)
+            edge_feats = None
+            for value in values:
+                kind = value[0]
+                if kind == "s":
+                    state_row, nbrs, edge_feats = value[1], value[2], value[3]
+                elif kind == "m":
+                    message_rows.append(value[1])
+                    message_dst.append(local_index)
+                    message_counts.append(int(value[2]))
+                elif kind == "r":
+                    hub_payload = payload_lookup.get(int(value[1]))
+                    if hub_payload is None:
+                        raise RuntimeError(
+                            f"broadcast payload for hub {value[1]} missing on reducer")
+                    message_rows.append(hub_payload)
+                    message_dst.append(local_index)
+                    message_counts.append(int(value[2]))
+            if state_row is None:
+                # A node that only ever appears as a message destination but has
+                # no own record cannot exist: the init map emits a state record
+                # for every node in the node table.
+                raise RuntimeError(f"state record missing for node {node_id}")
+            node_ids.append(node_id)
+            states.append(state_row)
+            out_nbrs.append(nbrs)
+            out_edge_feats.append(edge_feats)
+
+        node_ids_arr = np.asarray(node_ids, dtype=np.int64)
+        state_matrix = np.stack(states) if states else np.zeros((0, layer.in_dim))
+        if message_rows:
+            payload = np.stack(message_rows)
+            dst_index = np.asarray(message_dst, dtype=np.int64)
+            counts = np.asarray(message_counts, dtype=np.int64)
+        else:
+            payload = np.zeros((0, layer.message_dim))
+            dst_index = np.empty(0, dtype=np.int64)
+            counts = np.empty(0, dtype=np.int64)
+
+        with no_grad():
+            aggr = layer.gather(Tensor(payload), dst_index, len(chunk), counts)
+            new_state = layer.apply_node(Tensor(state_matrix), aggr).data
+
+        context.add_compute(gnn_layer_compute_units(
+            num_messages=payload.shape[0], message_dim=layer.message_dim,
+            num_nodes=len(chunk), in_dim=layer.in_dim,
+            out_dim=getattr(layer, "output_dim", layer.out_dim)))
+        context.observe_memory(
+            tensor_bytes(new_state.shape) + tensor_bytes(state_matrix.shape)
+            + float(payload.nbytes))
+
+        outputs: List[Record] = []
+        if is_last:
+            with no_grad():
+                logits = self.model.predict(Tensor(new_state)).data
+            context.add_compute(len(chunk) * new_state.shape[1] * logits.shape[1])
+            for position, node_id in enumerate(node_ids_arr):
+                node_id = int(node_id)
+                if node_id < self.original_num_nodes:
+                    outputs.append((node_id, ("o", logits[position])))
+        else:
+            for position, node_id in enumerate(node_ids_arr):
+                outputs.append((int(node_id),
+                                ("s", new_state[position], out_nbrs[position],
+                                 out_edge_feats[position])))
+            outputs.extend(self._emit_messages(
+                self.layer_index + 1, node_ids_arr, new_state, out_nbrs, out_edge_feats, context))
+        return outputs
+
+
+def _combine_messages(model: GNNModel, plan: StrategyPlan, layer_index: int,
+                      key: Any, values: List[Any]) -> List[Record]:
+    """Mapper-side combiner implementing partial-gather for message records.
+
+    Only plain ``("m", payload, count)`` records are folded; state records,
+    broadcast refs and broadcast payloads pass through unchanged.  The fold
+    uses the consuming layer's ``partial_reduce`` so the semantics (sum vs
+    max, count bookkeeping for mean) always match the layer.
+    """
+    strategy = plan.layer(layer_index)
+    if not strategy.partial_gather:
+        return [(key, value) for value in values]
+    layer = model.layers[layer_index]
+    passthrough: List[Record] = []
+    payloads: List[np.ndarray] = []
+    counts: List[int] = []
+    for value in values:
+        if isinstance(value, tuple) and value and value[0] == "m":
+            payloads.append(value[1])
+            counts.append(int(value[2]))
+        else:
+            passthrough.append((key, value))
+    if len(payloads) <= 1:
+        if payloads:
+            passthrough.append((key, ("m", payloads[0], counts[0])))
+        return passthrough
+    folded, total = layer.partial_reduce(np.stack(payloads), np.asarray(counts))
+    passthrough.append((key, ("m", folded, total)))
+    return passthrough
+
+
+def run_mapreduce_inference(model: GNNModel, graph: Graph, config: InferenceConfig,
+                            plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
+                            metrics: MetricsCollector) -> Dict[str, np.ndarray]:
+    """Execute full-graph inference on the MapReduce backend."""
+    working_graph = shadow_plan.graph if shadow_plan is not None else graph
+    original_num_nodes = shadow_plan.original_num_nodes if shadow_plan is not None else graph.num_nodes
+
+    engine = MapReduceEngine(
+        num_mappers=config.num_workers,
+        num_reducers=config.num_workers,
+        metrics=metrics,
+        partition_fn=_partition_fn,
+    )
+    model.eval()
+
+    # Input records from the (possibly shadow-expanded) node table.
+    input_records: List[Record] = []
+    for node_id in range(working_graph.num_nodes):
+        neighbors = working_graph.out_neighbors(node_id).copy()
+        edge_feats = None
+        if working_graph.edge_features is not None:
+            edge_feats = working_graph.edge_features[working_graph.out_edge_ids(node_id)]
+        features = (working_graph.node_features[node_id]
+                    if working_graph.node_features is not None
+                    else np.zeros(model.encoder.in_features))
+        input_records.append((node_id, (features, neighbors, edge_feats)))
+
+    records: List[Record] = input_records
+    for layer_index in range(model.num_layers):
+        job = GNNRoundJob(model, plan, shadow_plan, layer_index,
+                          config.num_workers, original_num_nodes)
+        records, _ = engine.run(job, records, phase=f"round_{layer_index}")
+
+    scores = np.zeros((original_num_nodes, model.output_dim))
+    for key, value in records:
+        if isinstance(value, tuple) and value and value[0] == "o":
+            scores[int(key)] = value[1]
+    return {"scores": scores}

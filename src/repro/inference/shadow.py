@@ -1,0 +1,146 @@
+"""Shadow-nodes preprocessing.
+
+A node whose out-degree exceeds the hub threshold is duplicated into mirrors;
+each mirror keeps **all** the in-edges (senders deliver every in-message to
+every mirror, which is the documented overhead of the strategy) and a slice of
+the out-edges, so the sending load of the hub spreads over several workers.
+Because every mirror sees exactly the in-messages of the original node, it
+computes exactly the original node's state, and the union of the mirrors'
+out-edges equals the original out-edge set — results are unchanged.
+
+The transformation is applied to the graph before partitioning; the returned
+plan carries the replica map the adaptors use to fan in-messages out to the
+mirrors and to read final predictions only from original node ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class ShadowNodePlan:
+    """Result of shadow-node preprocessing."""
+
+    graph: Graph
+    original_num_nodes: int
+    #: original node id -> array of ids its in-messages must be delivered to
+    #: (the original id itself plus its mirrors); nodes without mirrors are
+    #: absent from the map.
+    replica_map: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: mirror id -> original node id
+    mirror_origin: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_mirrors(self) -> int:
+        return len(self.mirror_origin)
+
+    def expand_destinations(self, dst_ids: np.ndarray, payload: np.ndarray,
+                            counts: Optional[np.ndarray] = None) -> tuple:
+        """Duplicate message rows whose destination has mirrors.
+
+        Returns expanded ``(dst_ids, payload, counts)`` arrays.  Rows whose
+        destination is not replicated are passed through untouched, so the
+        common case costs one vectorised membership test.
+        """
+        if not self.replica_map:
+            return dst_ids, payload, counts
+        dst_ids = np.asarray(dst_ids, dtype=np.int64)
+        if counts is None:
+            counts = np.ones(dst_ids.shape[0], dtype=np.int64)
+        replicated_ids = np.fromiter(self.replica_map.keys(), dtype=np.int64,
+                                     count=len(self.replica_map))
+        needs_expand = np.isin(dst_ids, replicated_ids)
+        if not needs_expand.any():
+            return dst_ids, payload, counts
+
+        keep_rows = np.nonzero(~needs_expand)[0]
+        expand_rows = np.nonzero(needs_expand)[0]
+        out_dst: List[np.ndarray] = [dst_ids[keep_rows]]
+        out_payload: List[np.ndarray] = [payload[keep_rows]]
+        out_counts: List[np.ndarray] = [counts[keep_rows]]
+        for row in expand_rows:
+            replicas = self.replica_map[int(dst_ids[row])]
+            out_dst.append(replicas)
+            out_payload.append(np.repeat(payload[row][None, :], replicas.size, axis=0))
+            out_counts.append(np.full(replicas.size, counts[row], dtype=np.int64))
+        return (np.concatenate(out_dst),
+                np.concatenate(out_payload, axis=0),
+                np.concatenate(out_counts))
+
+
+def apply_shadow_nodes(graph: Graph, threshold: int, num_workers: int,
+                       max_mirrors: Optional[int] = None) -> ShadowNodePlan:
+    """Split hub out-edges across mirror nodes.
+
+    The number of mirrors for a hub with out-degree ``d`` is
+    ``ceil(d / threshold)`` capped at ``num_workers`` (one mirror per worker is
+    the most the strategy can ever use).  Mirror ids are allocated past the
+    original id range; mirror features/labels are copies of the original's.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    out_degrees = graph.out_degrees()
+    hubs = np.nonzero(out_degrees > threshold)[0]
+    if hubs.size == 0:
+        return ShadowNodePlan(graph=graph, original_num_nodes=graph.num_nodes)
+
+    cap = max_mirrors if max_mirrors is not None else num_workers
+    new_src = graph.src.copy()
+    replica_map: Dict[int, np.ndarray] = {}
+    mirror_origin: Dict[int, int] = {}
+    extra_features: List[np.ndarray] = []
+    extra_labels: List[np.ndarray] = []
+    next_id = graph.num_nodes
+
+    for hub in hubs:
+        hub = int(hub)
+        edge_positions = graph.out_edge_ids(hub)
+        degree = edge_positions.size
+        num_groups = min(int(np.ceil(degree / threshold)), max(cap, 1))
+        if num_groups <= 1:
+            continue
+        groups = np.array_split(edge_positions, num_groups)
+        replica_ids = [hub]
+        # Group 0 stays with the original node; groups 1.. go to fresh mirrors.
+        for group in groups[1:]:
+            mirror_id = next_id
+            next_id += 1
+            new_src[group] = mirror_id
+            replica_ids.append(mirror_id)
+            mirror_origin[mirror_id] = hub
+            if graph.node_features is not None:
+                extra_features.append(graph.node_features[hub])
+            if graph.labels is not None:
+                extra_labels.append(np.asarray(graph.labels[hub]))
+        replica_map[hub] = np.asarray(replica_ids, dtype=np.int64)
+
+    if not mirror_origin:
+        return ShadowNodePlan(graph=graph, original_num_nodes=graph.num_nodes)
+
+    node_features = graph.node_features
+    if node_features is not None:
+        node_features = np.concatenate([node_features, np.stack(extra_features)], axis=0)
+    labels = graph.labels
+    if labels is not None:
+        labels = np.concatenate([labels, np.stack(extra_labels)], axis=0)
+
+    expanded = Graph(
+        src=new_src,
+        dst=graph.dst.copy(),
+        node_features=node_features,
+        edge_features=graph.edge_features,
+        labels=labels,
+        num_nodes=next_id,
+    )
+    return ShadowNodePlan(
+        graph=expanded,
+        original_num_nodes=graph.num_nodes,
+        replica_map=replica_map,
+        mirror_origin=mirror_origin,
+    )

@@ -1,0 +1,148 @@
+"""Hub-node strategy planning and the broadcast message block.
+
+This module holds everything the two backend adaptors share:
+
+* the hub threshold heuristic (λ · total_edges / num_workers);
+* the per-layer strategy plan (is partial-gather legal? is broadcast
+  applicable? which nodes are out-degree hubs?);
+* :class:`BroadcastMessageBlock`, a packed message block that stores each hub
+  payload once per destination worker plus id-only references per edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.metrics import ID_BYTES, RECORD_OVERHEAD_BYTES
+from repro.gnn.model import GNNModel
+from repro.graph.graph import Graph
+from repro.inference.config import StrategyConfig
+from repro.pregel.combiners import MessageCombiner, combiner_for_aggregate_kind
+from repro.pregel.vertex import MessageBlock
+
+
+def hub_threshold(total_edges: int, num_workers: int, hub_lambda: float = 0.1,
+                  override: Optional[int] = None) -> int:
+    """The paper's heuristic: ``threshold = λ · total_edges / total_workers``.
+
+    A node whose (out-)degree exceeds the threshold is treated as a hub by the
+    broadcast and shadow-nodes strategies.  The threshold never drops below 1.
+    """
+    if override is not None:
+        return max(int(override), 1)
+    return max(int(hub_lambda * total_edges / max(num_workers, 1)), 1)
+
+
+@dataclass
+class LayerStrategy:
+    """Resolved strategy switches for one GNN layer."""
+
+    layer_index: int
+    partial_gather: bool
+    broadcast: bool
+    combiner: Optional[MessageCombiner]
+
+
+@dataclass
+class StrategyPlan:
+    """Everything the adaptors need to apply the strategies consistently."""
+
+    threshold: int
+    out_degree_hubs: np.ndarray                  # global node ids with out-degree >= threshold
+    layer_strategies: List[LayerStrategy] = field(default_factory=list)
+    shadow_nodes: bool = False
+
+    def layer(self, index: int) -> LayerStrategy:
+        return self.layer_strategies[index]
+
+    @property
+    def hub_set(self) -> set:
+        return set(int(h) for h in self.out_degree_hubs)
+
+
+def build_strategy_plan(model: GNNModel, graph: Graph, num_workers: int,
+                        config: StrategyConfig, has_edge_features: bool) -> StrategyPlan:
+    """Resolve the strategy switches per layer for a concrete model and graph.
+
+    * partial-gather is enabled only for layers whose gather stage is
+      annotated commutative/associative (``supports_partial_gather``);
+    * broadcast is enabled only for layers whose out-edge messages do not
+      depend on edge features (otherwise the payloads differ per edge and
+      cannot be shared);
+    * shadow-nodes is a graph-level preprocessing switch, recorded here so the
+      adaptors and experiments read one source of truth.
+    """
+    threshold = hub_threshold(graph.num_edges, num_workers, config.hub_lambda,
+                              config.hub_threshold_override)
+    out_degrees = graph.out_degrees()
+    hubs = np.nonzero(out_degrees >= threshold)[0]
+
+    layer_strategies: List[LayerStrategy] = []
+    for index, layer in enumerate(model.layers):
+        partial = bool(config.partial_gather and layer.supports_partial_gather)
+        message_uses_edges = has_edge_features and getattr(layer, "edge_linear", None) is not None
+        broadcast = bool(config.broadcast and not message_uses_edges)
+        combiner = combiner_for_aggregate_kind(layer.aggregate_kind) if partial else None
+        layer_strategies.append(LayerStrategy(
+            layer_index=index, partial_gather=partial, broadcast=broadcast, combiner=combiner,
+        ))
+    return StrategyPlan(
+        threshold=threshold,
+        out_degree_hubs=hubs,
+        layer_strategies=layer_strategies,
+        shadow_nodes=bool(config.shadow_nodes),
+    )
+
+
+class BroadcastMessageBlock(MessageBlock):
+    """A message block whose payload rows reference a shared payload table.
+
+    Hub nodes send the same payload along every out-edge; instead of repeating
+    the row per edge, the block stores each unique payload once
+    (``unique_payloads``) and one integer reference per edge.  The wire-size
+    accounting (:meth:`nbytes`) therefore reflects the paper's broadcast
+    saving: full payload once per destination worker, ids only per edge.
+    """
+
+    combinable = False
+
+    def __init__(self, dst_ids: np.ndarray, payload_refs: np.ndarray,
+                 unique_payloads: np.ndarray, counts: Optional[np.ndarray] = None) -> None:
+        self.payload_refs = np.asarray(payload_refs, dtype=np.int64)
+        self.unique_payloads = np.asarray(unique_payloads, dtype=np.float64)
+        if self.unique_payloads.ndim == 1:
+            self.unique_payloads = self.unique_payloads.reshape(1, -1)
+        # ``payload`` is materialised lazily; MessageBlock's validation needs a
+        # placeholder with the right row count.
+        super().__init__(dst_ids=dst_ids,
+                         payload=np.zeros((self.payload_refs.shape[0], 0)),
+                         counts=counts)
+
+    def dense_payload(self) -> np.ndarray:
+        return self.unique_payloads[self.payload_refs]
+
+    def nbytes(self) -> float:
+        per_edge = 2 * ID_BYTES + RECORD_OVERHEAD_BYTES   # dst id + payload reference
+        return float(self.dst_ids.shape[0]) * per_edge + float(self.unique_payloads.nbytes)
+
+    def take(self, rows: np.ndarray) -> "BroadcastMessageBlock":
+        refs = self.payload_refs[rows]
+        used, remapped = np.unique(refs, return_inverse=True)
+        return BroadcastMessageBlock(
+            dst_ids=self.dst_ids[rows],
+            payload_refs=remapped,
+            unique_payloads=self.unique_payloads[used],
+            counts=self.counts[rows],
+        )
+
+
+def split_hub_edges(src_ids: np.ndarray, hub_set: set) -> tuple:
+    """Partition edge positions into (hub-source rows, regular rows)."""
+    if not hub_set:
+        all_rows = np.arange(src_ids.shape[0])
+        return np.empty(0, dtype=np.int64), all_rows
+    is_hub = np.fromiter((int(s) in hub_set for s in src_ids), dtype=bool, count=src_ids.shape[0])
+    return np.nonzero(is_hub)[0], np.nonzero(~is_hub)[0]

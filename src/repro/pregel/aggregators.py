@@ -1,0 +1,61 @@
+"""Global aggregators.
+
+An aggregator collects values contributed by vertices during superstep *s*
+and makes the reduced value available to every vertex in superstep *s + 1* —
+Pregel's mechanism for global coordination.  The paper implements its
+broadcast strategy "with the built-in aggregator class": hub nodes publish one
+(uuid → message) entry per worker instead of per out-edge, and receivers look
+the payload up by uuid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+
+class Aggregator:
+    """Interface: reduce a list of contributions into one global value."""
+
+    def reduce(self, values: List[Any]) -> Any:
+        raise NotImplementedError
+
+    def identity(self) -> Any:
+        """Value exposed when nothing was contributed."""
+        return None
+
+
+class SumAggregator(Aggregator):
+    def reduce(self, values: List[Any]) -> Any:
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        return total
+
+    def identity(self) -> Any:
+        return 0.0
+
+
+class MaxAggregator(Aggregator):
+    def reduce(self, values: List[Any]) -> Any:
+        best = values[0]
+        for value in values[1:]:
+            best = np.maximum(best, value)
+        return best
+
+    def identity(self) -> Any:
+        return -np.inf
+
+
+class DictUnionAggregator(Aggregator):
+    """Union of dict contributions — the uuid → payload table for broadcast."""
+
+    def reduce(self, values: List[Any]) -> Any:
+        merged: Dict[Any, Any] = {}
+        for value in values:
+            merged.update(value)
+        return merged
+
+    def identity(self) -> Any:
+        return {}

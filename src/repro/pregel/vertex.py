@@ -1,0 +1,224 @@
+"""Message types, contexts and program interfaces for the Pregel engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cluster.metrics import ID_BYTES, RECORD_OVERHEAD_BYTES, estimate_payload_bytes
+
+
+@dataclass
+class VertexMessage:
+    """A single message addressed to one vertex (classic Pregel style)."""
+
+    dst: int
+    value: Any
+
+    def nbytes(self) -> float:
+        return ID_BYTES + RECORD_OVERHEAD_BYTES + estimate_payload_bytes(self.value)
+
+    def num_records(self) -> int:
+        return 1
+
+
+@dataclass
+class MessageBlock:
+    """A packed batch of messages sharing a payload matrix.
+
+    Row i is a message for vertex ``dst_ids[i]`` with payload ``payload[i]``
+    that stands for ``counts[i]`` original messages (counts > 1 appear when a
+    sender-side combiner pre-aggregated messages — the partial-gather case).
+    """
+
+    dst_ids: np.ndarray
+    payload: np.ndarray
+    counts: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.dst_ids = np.asarray(self.dst_ids, dtype=np.int64)
+        self.payload = np.asarray(self.payload, dtype=np.float64)
+        if self.payload.ndim == 1:
+            self.payload = self.payload.reshape(-1, 1)
+        if self.counts is None:
+            self.counts = np.ones(self.dst_ids.shape[0], dtype=np.int64)
+        else:
+            self.counts = np.asarray(self.counts, dtype=np.int64)
+        if not (self.dst_ids.shape[0] == self.payload.shape[0] == self.counts.shape[0]):
+            raise ValueError("dst_ids, payload and counts must have matching lengths")
+
+    # Whether a sender-side combiner may fold this block's rows.  Deliberately
+    # unannotated so the dataclass machinery treats it as a plain class
+    # attribute (subclasses override it), not an instance field.
+    combinable = True
+
+    def nbytes(self) -> float:
+        return (self.dst_ids.shape[0] * (ID_BYTES + RECORD_OVERHEAD_BYTES)
+                + float(self.payload.nbytes))
+
+    def num_records(self) -> int:
+        return int(self.dst_ids.shape[0])
+
+    def dense_payload(self) -> np.ndarray:
+        """Payload rows aligned with ``dst_ids`` (identity for plain blocks)."""
+        return self.payload
+
+    def take(self, rows: np.ndarray) -> "MessageBlock":
+        """A new block containing only the selected rows (same concrete type)."""
+        return MessageBlock(dst_ids=self.dst_ids[rows], payload=self.payload[rows],
+                            counts=self.counts[rows])
+
+
+@dataclass
+class PregelPartitionState:
+    """Mutable per-partition vertex storage for per-vertex programs."""
+
+    values: Dict[int, Any] = field(default_factory=dict)
+    halted: Dict[int, bool] = field(default_factory=dict)
+
+
+class VertexContext:
+    """Hands a single vertex its state and messaging capabilities."""
+
+    def __init__(self, vertex_id: int, partition_context: "PartitionContext") -> None:
+        self.vertex_id = vertex_id
+        self._partition = partition_context
+
+    # -- state ---------------------------------------------------------- #
+    @property
+    def superstep(self) -> int:
+        return self._partition.superstep
+
+    @property
+    def value(self) -> Any:
+        return self._partition.get_value(self.vertex_id)
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._partition.set_value(self.vertex_id, new_value)
+
+    def out_edges(self) -> np.ndarray:
+        """Destination ids of this vertex's out-edges."""
+        return self._partition.out_edges_of(self.vertex_id)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._partition.num_graph_vertices
+
+    # -- actions -------------------------------------------------------- #
+    def send_message(self, dst: int, value: Any) -> None:
+        self._partition.send_message(dst, value)
+
+    def send_message_to_all_neighbors(self, value: Any) -> None:
+        for dst in self.out_edges():
+            self._partition.send_message(int(dst), value)
+
+    def vote_to_halt(self) -> None:
+        self._partition.vote_to_halt(self.vertex_id)
+
+    def aggregate(self, name: str, value: Any) -> None:
+        self._partition.aggregate(name, value)
+
+    def get_aggregated(self, name: str) -> Any:
+        return self._partition.get_aggregated(name)
+
+
+class PartitionContext:
+    """Per-partition view handed to programs during one superstep.
+
+    It exposes the owned vertices, out-edges and the outgoing mailbox, and it
+    accumulates the compute/memory accounting that the cost model consumes.
+    """
+
+    def __init__(self, partition, superstep: int, aggregated: Dict[str, Any],
+                 num_graph_vertices: int) -> None:
+        self._partition = partition
+        self.superstep = superstep
+        self._aggregated = aggregated
+        self.num_graph_vertices = num_graph_vertices
+        self.outgoing_vertex_messages: List[VertexMessage] = []
+        self.outgoing_blocks: List[MessageBlock] = []
+        self.aggregator_inputs: Dict[str, List[Any]] = {}
+        self.compute_units: float = 0.0
+        self.peak_memory_bytes: float = 0.0
+        self._halt_votes: List[int] = []
+
+    # -- state access ---------------------------------------------------- #
+    @property
+    def partition(self):
+        """The :class:`~repro.pregel.engine.PregelPartition` being processed."""
+        return self._partition
+
+    @property
+    def partition_id(self) -> int:
+        return self._partition.partition_id
+
+    @property
+    def vertex_ids(self) -> np.ndarray:
+        return self._partition.node_ids
+
+    def get_value(self, vertex_id: int) -> Any:
+        return self._partition.state.values.get(vertex_id)
+
+    def set_value(self, vertex_id: int, value: Any) -> None:
+        self._partition.state.values[vertex_id] = value
+
+    def out_edges_of(self, vertex_id: int) -> np.ndarray:
+        return self._partition.out_edges_of(vertex_id)
+
+    # -- messaging -------------------------------------------------------- #
+    def send_message(self, dst: int, value: Any) -> None:
+        self.outgoing_vertex_messages.append(VertexMessage(dst=int(dst), value=value))
+
+    def send_block(self, block: MessageBlock) -> None:
+        self.outgoing_blocks.append(block)
+
+    def vote_to_halt(self, vertex_id: int) -> None:
+        self._halt_votes.append(vertex_id)
+        self._partition.state.halted[vertex_id] = True
+
+    # -- aggregators ------------------------------------------------------ #
+    def aggregate(self, name: str, value: Any) -> None:
+        self.aggregator_inputs.setdefault(name, []).append(value)
+
+    def get_aggregated(self, name: str) -> Any:
+        return self._aggregated.get(name)
+
+    # -- accounting -------------------------------------------------------- #
+    def add_compute(self, units: float) -> None:
+        self.compute_units += float(units)
+
+    def observe_memory(self, bytes_used: float) -> None:
+        self.peak_memory_bytes = max(self.peak_memory_bytes, float(bytes_used))
+
+
+class VertexProgram:
+    """Per-vertex program: override :meth:`compute`."""
+
+    def compute(self, vertex: VertexContext, messages: List[Any]) -> None:
+        raise NotImplementedError
+
+    def initial_value(self, vertex_id: int) -> Any:
+        """Initial vertex value before superstep 0 (default None)."""
+        return None
+
+
+class BlockVertexProgram:
+    """Per-partition block program: override :meth:`compute_partition`.
+
+    ``incoming`` is the list of :class:`MessageBlock`s whose destinations are
+    owned by the partition; the program is responsible for its own
+    vectorisation and for sending outgoing blocks through the context.
+    """
+
+    def compute_partition(self, context: PartitionContext,
+                          incoming: List[MessageBlock]) -> None:
+        raise NotImplementedError
+
+    def setup_partition(self, partition) -> None:
+        """Hook called once before superstep 0 for each partition."""
+
+    def max_supersteps(self) -> int:
+        raise NotImplementedError

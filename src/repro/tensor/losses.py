@@ -1,0 +1,65 @@
+"""Loss functions and evaluation metrics for node classification.
+
+``softmax_cross_entropy`` covers single-label tasks (Products, MAG240M-style),
+``binary_cross_entropy_with_logits`` covers multi-label tasks (PPI-style,
+121 binary labels per node).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+from repro.tensor import ops
+
+
+def softmax_cross_entropy(logits: Tensor, labels) -> Tensor:
+    """Mean cross-entropy between ``logits`` [N, C] and integer ``labels`` [N]."""
+    labels = np.asarray(labels.data if isinstance(labels, Tensor) else labels, dtype=np.int64)
+    num_rows = logits.shape[0]
+    log_probs = ops.log_softmax(logits, axis=-1)
+    onehot = np.zeros(logits.shape, dtype=np.float64)
+    onehot[np.arange(num_rows), labels] = 1.0
+    picked = log_probs * Tensor(onehot)
+    return -(picked.sum() * (1.0 / num_rows))
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
+    """Mean element-wise binary cross-entropy for multi-label targets in {0, 1}.
+
+    Uses the sigmoid/log formulation ``-t*log(p) - (1-t)*log(1-p)`` with the
+    probabilities clipped away from 0/1 for numerical stability.
+    """
+    targets_arr = np.asarray(targets.data if isinstance(targets, Tensor) else targets,
+                             dtype=np.float64)
+    targets_t = Tensor(targets_arr)
+    probs = logits.sigmoid()
+    eps = 1e-7
+    probs_clipped = probs * (1.0 - 2 * eps) + eps
+    ones = Tensor(np.ones(logits.shape))
+    loss = -(targets_t * probs_clipped.log() + (ones - targets_t) * (ones - probs_clipped).log())
+    return loss.mean()
+
+
+def accuracy(logits, labels) -> float:
+    """Single-label accuracy given logits [N, C] and integer labels [N]."""
+    logits_arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    labels_arr = np.asarray(labels.data if isinstance(labels, Tensor) else labels)
+    predictions = logits_arr.argmax(axis=-1)
+    return float((predictions == labels_arr).mean())
+
+
+def micro_f1(logits, targets, threshold: float = 0.0) -> float:
+    """Micro-averaged F1 for multi-label prediction (logits thresholded at 0)."""
+    logits_arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets_arr = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
+    predictions = (logits_arr > threshold).astype(np.int64)
+    targets_bin = (targets_arr > 0.5).astype(np.int64)
+    true_pos = int((predictions * targets_bin).sum())
+    false_pos = int((predictions * (1 - targets_bin)).sum())
+    false_neg = int(((1 - predictions) * targets_bin).sum())
+    if true_pos == 0:
+        return 0.0
+    precision = true_pos / (true_pos + false_pos)
+    recall = true_pos / (true_pos + false_neg)
+    return float(2 * precision * recall / (precision + recall))

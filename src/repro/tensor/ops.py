@@ -1,0 +1,168 @@
+"""Dense and segment operations used by message-passing GNNs.
+
+The segment operations (`segment_sum`, `segment_mean`, `segment_max`,
+`segment_softmax`) are the numerical core of the GAS abstraction: gathering a
+node's in-edge messages is a *segment reduction* keyed by the destination node
+index, and GAT's attention normalisation is a *segment softmax*.
+
+All functions accept and return :class:`~repro.tensor.tensor.Tensor` objects
+and are differentiable so the same code path is used during mini-batch
+training and full-graph inference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, concatenate, stack  # noqa: F401 (re-export)
+
+
+def _as_index(index) -> np.ndarray:
+    if isinstance(index, Tensor):
+        index = index.data
+    return np.asarray(index, dtype=np.int64)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix multiply two tensors."""
+    return a @ b
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def exp(x: Tensor) -> Tensor:
+    return x.exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return x.log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exped = shifted.exp()
+    return exped / exped.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def gather_rows(x: Tensor, index) -> Tensor:
+    """Select rows of ``x`` by integer index (differentiable)."""
+    return x[_as_index(index)]
+
+
+# --------------------------------------------------------------------------- #
+# segment reductions
+# --------------------------------------------------------------------------- #
+def segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Sum ``values`` rows into ``num_segments`` buckets keyed by ``segment_ids``.
+
+    This is the commutative/associative reduction the paper's *aggregate* stage
+    and *partial-gather* strategy rely on.
+    """
+    values = values if isinstance(values, Tensor) else Tensor(values)
+    ids = _as_index(segment_ids)
+    out_shape = (num_segments,) + values.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, ids, values.data)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        values._accumulate(grad[ids])
+
+    return Tensor._make(out_data, (values,), backward_fn)
+
+
+def segment_count(segment_ids, num_segments: int) -> np.ndarray:
+    """Return the number of rows mapped into each segment."""
+    ids = _as_index(segment_ids)
+    counts = np.zeros(num_segments, dtype=np.int64)
+    np.add.at(counts, ids, 1)
+    return counts
+
+
+def segment_mean(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Mean-reduce ``values`` rows per segment (empty segments yield zeros)."""
+    ids = _as_index(segment_ids)
+    counts = segment_count(ids, num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    summed = segment_sum(values, ids, num_segments)
+    scale = Tensor(1.0 / counts.reshape((num_segments,) + (1,) * (summed.ndim - 1)))
+    return summed * scale
+
+
+def segment_max(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Max-reduce ``values`` rows per segment (empty segments yield zeros)."""
+    values = values if isinstance(values, Tensor) else Tensor(values)
+    ids = _as_index(segment_ids)
+    out_shape = (num_segments,) + values.shape[1:]
+    out_data = np.full(out_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out_data, ids, values.data)
+    empty = ~np.isin(np.arange(num_segments), ids)
+    out_data[empty] = 0.0
+
+    def backward_fn(grad: np.ndarray) -> None:
+        mask = (values.data == out_data[ids]).astype(np.float64)
+        values._accumulate(grad[ids] * mask)
+
+    return Tensor._make(out_data, (values,), backward_fn)
+
+
+def segment_softmax(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Softmax over rows that share a segment id (GAT attention normaliser)."""
+    values = values if isinstance(values, Tensor) else Tensor(values)
+    ids = _as_index(segment_ids)
+    # Stable: subtract per-segment max (constant w.r.t. gradient shape).
+    seg_max = np.full((num_segments,) + values.shape[1:], -np.inf)
+    np.maximum.at(seg_max, ids, values.data)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    shifted = values - Tensor(seg_max[ids])
+    exped = shifted.exp()
+    denom = segment_sum(exped, ids, num_segments)
+    denom_safe = denom + Tensor(np.where(denom.data == 0.0, 1.0, 0.0))
+    return exped / denom_safe[ids]
+
+
+def spmm(dst_index, src_index, values: Optional[np.ndarray], node_state: Tensor,
+         num_nodes: int) -> Tensor:
+    """Generalised sparse-dense matmul: ``A @ node_state``.
+
+    ``A`` is the sparse adjacency defined by COO ``(dst_index, src_index)`` with
+    optional per-edge ``values`` (defaults to 1.0).  This is the fused
+    ``scatter_and_gather`` used by GraphSAGE in the paper's Fig. 3.
+    """
+    dst = _as_index(dst_index)
+    src = _as_index(src_index)
+    messages = gather_rows(node_state, src)
+    if values is not None:
+        weights = values.reshape(-1, *([1] * (messages.ndim - 1)))
+        messages = messages * Tensor(weights)
+    return segment_sum(messages, dst, num_nodes)
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return x * Tensor(mask)

@@ -1,0 +1,27 @@
+"""Evaluation metrics used by the training loop and the Table II experiment."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.tensor.losses import accuracy, micro_f1
+
+
+def evaluate_single_label(logits: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
+    """Accuracy for single-label node classification."""
+    return {"accuracy": accuracy(logits, labels)}
+
+
+def evaluate_multi_label(logits: np.ndarray, targets: np.ndarray) -> Dict[str, float]:
+    """Micro-F1 for multi-label node classification (PPI-style)."""
+    return {"micro_f1": micro_f1(logits, targets)}
+
+
+def prediction_labels(logits: np.ndarray, multilabel: bool = False) -> np.ndarray:
+    """Hard predictions from logits: argmax, or per-label threshold at 0."""
+    logits = np.asarray(logits)
+    if multilabel:
+        return (logits > 0.0).astype(np.int64)
+    return logits.argmax(axis=-1)

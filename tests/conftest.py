@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import labeled_community_graph, powerlaw_graph, star_graph
+from repro.graph.graph import Graph
+from repro.gnn.model import build_model
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> Graph:
+    """A small labelled community graph shared by read-only tests."""
+    return labeled_community_graph(num_nodes=200, num_classes=4, feature_dim=12,
+                                   avg_degree=6.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def powerlaw_out_graph() -> Graph:
+    """Out-degree-skewed power-law graph (broadcast / shadow-node regime)."""
+    return powerlaw_graph(num_nodes=1500, avg_degree=8.0, skew="out", feature_dim=8,
+                          num_classes=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def powerlaw_in_graph() -> Graph:
+    """In-degree-skewed power-law graph (partial-gather regime)."""
+    return powerlaw_graph(num_nodes=1500, avg_degree=8.0, skew="in", feature_dim=8,
+                          num_classes=2, seed=13)
+
+
+@pytest.fixture(scope="session")
+def tiny_line_graph() -> Graph:
+    """0 → 1 → 2 → 3 path with simple features (hand-checkable)."""
+    features = np.arange(8, dtype=np.float64).reshape(4, 2)
+    return Graph(src=np.array([0, 1, 2]), dst=np.array([1, 2, 3]),
+                 node_features=features, labels=np.array([0, 1, 0, 1]), num_nodes=4)
+
+
+@pytest.fixture()
+def sage_model(small_graph):
+    return build_model("sage", small_graph.feature_dim, 16, 4, num_layers=2, seed=0)
+
+
+@pytest.fixture()
+def gat_model(small_graph):
+    return build_model("gat", small_graph.feature_dim, 16, 4, num_layers=2, heads=4, seed=0)
+
+
+@pytest.fixture()
+def gcn_model(small_graph):
+    return build_model("gcn", small_graph.feature_dim, 16, 4, num_layers=2, seed=0)

@@ -1,0 +1,85 @@
+"""Tests for the dataset registry and synthetic stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import PAPER_STATS, Dataset, list_datasets, load_dataset
+
+
+class TestRegistry:
+    def test_lists_all_paper_datasets(self):
+        assert list_datasets() == ["ppi", "products", "mag240m", "powerlaw"]
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("citeseer")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("ppi", size="gigantic")
+
+    @pytest.mark.parametrize("name", ["ppi", "products", "mag240m", "powerlaw"])
+    def test_loads_and_has_paper_stats(self, name):
+        dataset = load_dataset(name, size="tiny")
+        assert dataset.graph.num_nodes > 0
+        assert dataset.graph.num_edges > 0
+        assert dataset.paper_stats == PAPER_STATS[name]
+
+    def test_ppi_is_multilabel_with_121_labels(self):
+        dataset = load_dataset("ppi", size="tiny")
+        assert dataset.multilabel
+        assert dataset.num_classes == 121
+        assert dataset.feature_dim == 50
+
+    def test_products_class_and_feature_dims(self):
+        dataset = load_dataset("products", size="tiny")
+        assert dataset.num_classes == 47
+        assert dataset.feature_dim == 100
+        assert not dataset.multilabel
+
+    def test_mag240m_low_label_fraction(self):
+        dataset = load_dataset("mag240m", size="tiny")
+        assert dataset.summary()["train_fraction"] < 0.1
+        assert dataset.num_classes == 153
+
+    def test_powerlaw_tiny_train_fraction(self):
+        dataset = load_dataset("powerlaw", size="tiny")
+        assert dataset.summary()["train_fraction"] <= 0.01
+
+    def test_powerlaw_custom_scale_and_skew(self):
+        dataset = load_dataset("powerlaw", num_nodes=3000, skew="in", avg_degree=6.0)
+        assert dataset.graph.num_nodes == 3000
+        assert dataset.graph.in_degrees().max() > dataset.graph.out_degrees().max()
+
+    def test_sizes_scale_node_count(self):
+        tiny = load_dataset("products", size="tiny")
+        default = load_dataset("products", size="default")
+        assert default.graph.num_nodes > tiny.graph.num_nodes
+
+    def test_splits_are_disjoint_and_cover_nodes(self):
+        dataset = load_dataset("products", size="tiny")
+        train = set(dataset.train_nodes.tolist())
+        val = set(dataset.val_nodes.tolist())
+        test = set(dataset.test_nodes.tolist())
+        assert not (train & val)
+        assert not (train & test)
+        assert not (val & test)
+        assert len(train | val | test) == dataset.graph.num_nodes
+
+    def test_deterministic_by_seed(self):
+        a = load_dataset("ppi", size="tiny", seed=3)
+        b = load_dataset("ppi", size="tiny", seed=3)
+        np.testing.assert_array_equal(a.graph.src, b.graph.src)
+        np.testing.assert_array_equal(a.train_nodes, b.train_nodes)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("ppi", size="tiny", seed=1)
+        b = load_dataset("ppi", size="tiny", seed=2)
+        assert not np.array_equal(a.graph.src, b.graph.src)
+
+    def test_summary_has_table1_fields(self):
+        stats = load_dataset("mag240m", size="tiny").summary()
+        for field in ("num_nodes", "num_edges", "node_feature_dim", "num_classes"):
+            assert field in stats

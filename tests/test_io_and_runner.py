@@ -1,0 +1,107 @@
+"""Tests for graph serialisation and the experiment CLI runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner
+from repro.graph import io
+from repro.graph.generators import labeled_community_graph
+from repro.graph.graph import Graph
+from repro.graph.tables import graph_to_tables
+
+
+class TestGraphIO:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return labeled_community_graph(num_nodes=80, num_classes=3, feature_dim=5,
+                                       avg_degree=4.0, edge_feature_dim=2, seed=1)
+
+    def test_save_load_graph_roundtrip(self, graph, tmp_path):
+        path = str(tmp_path / "graph.npz")
+        io.save_graph(graph, path)
+        loaded = io.load_graph(path)
+        assert loaded.num_nodes == graph.num_nodes
+        np.testing.assert_array_equal(loaded.src, graph.src)
+        np.testing.assert_array_equal(loaded.dst, graph.dst)
+        np.testing.assert_allclose(loaded.node_features, graph.node_features)
+        np.testing.assert_allclose(loaded.edge_features, graph.edge_features)
+        np.testing.assert_array_equal(loaded.labels, graph.labels)
+
+    def test_save_load_graph_without_attributes(self, tmp_path):
+        bare = Graph(np.array([0, 1]), np.array([1, 2]), num_nodes=4)
+        path = str(tmp_path / "bare.npz")
+        io.save_graph(bare, path)
+        loaded = io.load_graph(path)
+        assert loaded.node_features is None
+        assert loaded.labels is None
+        assert loaded.num_nodes == 4
+
+    def test_load_appends_npz_suffix(self, graph, tmp_path):
+        path = str(tmp_path / "graph2.npz")
+        io.save_graph(graph, path)
+        loaded = io.load_graph(str(tmp_path / "graph2"))
+        assert loaded.num_edges == graph.num_edges
+
+    def test_tables_roundtrip(self, graph, tmp_path):
+        node_table, edge_table = graph_to_tables(graph)
+        directory = str(tmp_path / "tables")
+        io.save_tables(node_table, edge_table, directory)
+        loaded_nodes, loaded_edges = io.load_tables(directory)
+        assert len(loaded_nodes) == len(node_table)
+        assert len(loaded_edges) == len(edge_table)
+        np.testing.assert_allclose(loaded_nodes.features, node_table.features)
+        for original, restored in zip(node_table.out_neighbors, loaded_nodes.out_neighbors):
+            np.testing.assert_array_equal(original, restored)
+
+    def test_export_import_graph_as_tables(self, graph, tmp_path):
+        directory = str(tmp_path / "export")
+        io.export_graph_as_tables(graph, directory)
+        rebuilt = io.import_graph_from_tables(directory)
+        assert rebuilt.num_nodes == graph.num_nodes
+        assert rebuilt.num_edges == graph.num_edges
+        np.testing.assert_allclose(rebuilt.node_features, graph.node_features)
+
+    def test_isolated_nodes_survive_table_roundtrip(self, tmp_path):
+        graph = Graph(np.array([0]), np.array([1]),
+                      node_features=np.ones((5, 2)), num_nodes=5)
+        directory = str(tmp_path / "isolated")
+        io.export_graph_as_tables(graph, directory)
+        rebuilt = io.import_graph_from_tables(directory)
+        assert rebuilt.num_nodes == 5
+
+
+class TestRunner:
+    def test_lists_all_experiments(self, capsys):
+        assert runner.main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(runner.EXPERIMENTS)
+
+    def test_run_single_experiment(self, capsys):
+        assert runner.main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "finished in" in output
+
+    def test_run_experiment_function_quick(self):
+        report = runner.run_experiment("fig9", preset="quick")
+        assert "Fig. 9" in report
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert runner.main(["table99"]) == 2
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            runner.run_experiment("table1", preset="huge")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            runner.run_experiment("nope")
+
+    def test_every_registered_experiment_has_both_presets(self):
+        for name, (module, quick_kwargs, full_kwargs) in runner.EXPERIMENTS.items():
+            assert hasattr(module, "run")
+            assert hasattr(module, "format_result")
+            assert isinstance(quick_kwargs, dict)
+            assert isinstance(full_kwargs, dict)

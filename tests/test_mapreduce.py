@@ -1,0 +1,270 @@
+"""Tests for the MapReduce engine, spill storage and cluster cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch.mapreduce import MapReduceEngine, MapReduceJob, TaskContext
+from repro.batch.storage import RecordStore, serialized_size
+from repro.cluster.cost_model import CostModel, gnn_layer_compute_units
+from repro.cluster.metrics import (
+    InstanceMetrics,
+    MetricsCollector,
+    estimate_payload_bytes,
+    message_bytes,
+    tensor_bytes,
+)
+from repro.cluster.resources import ClusterSpec, OutOfMemoryError, WorkerSpec
+
+
+class WordCountJob(MapReduceJob):
+    def map(self, key, value, context):
+        for word in value.split():
+            yield word, 1
+
+    def reduce(self, key, values, context):
+        yield key, sum(values)
+
+
+class CombiningWordCountJob(WordCountJob):
+    has_combiner = True
+
+    def combine(self, key, values, context):
+        yield key, sum(values)
+
+
+class PartitionSumJob(MapReduceJob):
+    uses_partition_reduce = True
+
+    def map(self, key, value, context):
+        yield key % 3, value
+
+    def reduce_partition(self, groups, context):
+        for key, values in groups:
+            context.add_compute(len(values))
+            yield key, sum(values)
+
+
+DOCUMENTS = [
+    (0, "the quick brown fox"),
+    (1, "the lazy dog"),
+    (2, "the quick dog jumps"),
+    (3, "brown dog brown fox"),
+]
+
+
+class TestMapReduceEngine:
+    def test_wordcount_correct(self):
+        engine = MapReduceEngine(num_mappers=2, num_reducers=2)
+        output, stats = engine.run(WordCountJob(), DOCUMENTS, phase="wc")
+        counts = dict(output)
+        assert counts["the"] == 3
+        assert counts["brown"] == 3
+        assert counts["jumps"] == 1
+        assert stats.map_output_records == 15
+
+    def test_results_independent_of_worker_count(self):
+        small = dict(MapReduceEngine(1, 1).run(WordCountJob(), DOCUMENTS)[0])
+        large = dict(MapReduceEngine(4, 7).run(WordCountJob(), DOCUMENTS)[0])
+        assert small == large
+
+    def test_combiner_reduces_shuffle_records_but_not_results(self):
+        plain_engine = MapReduceEngine(2, 2)
+        plain, plain_stats = plain_engine.run(WordCountJob(), DOCUMENTS)
+        combined_engine = MapReduceEngine(2, 2)
+        combined, combined_stats = combined_engine.run(CombiningWordCountJob(), DOCUMENTS)
+        assert dict(plain) == dict(combined)
+        assert combined_stats.map_output_records < plain_stats.map_output_records
+
+    def test_partition_reduce(self):
+        records = [(i, i) for i in range(30)]
+        output, _ = MapReduceEngine(3, 3).run(PartitionSumJob(), records)
+        totals = dict(output)
+        assert sum(totals.values()) == sum(range(30))
+
+    def test_metrics_recorded_for_both_phases(self):
+        metrics = MetricsCollector()
+        engine = MapReduceEngine(2, 3, metrics=metrics)
+        engine.run(WordCountJob(), DOCUMENTS, phase="job")
+        assert "job/map" in metrics.phases()
+        assert "job/reduce" in metrics.phases()
+        assert metrics.total("records_out", "job/map") == 15
+        assert metrics.total("records_in", "job/reduce") == 15
+
+    def test_custom_partition_fn(self):
+        engine = MapReduceEngine(1, 4, partition_fn=lambda key, n: 0)
+        metrics = engine.metrics
+        engine.run(WordCountJob(), DOCUMENTS, phase="p")
+        # Everything lands on reducer 0.
+        busy = [m for m in metrics.instances("p/reduce") if m.records_in > 0]
+        assert len(busy) == 1 and busy[0].instance_id == 0
+
+    def test_empty_input(self):
+        output, stats = MapReduceEngine(2, 2).run(WordCountJob(), [])
+        assert output == []
+        assert stats.map_output_records == 0
+
+    def test_invalid_worker_counts(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(0, 2)
+        with pytest.raises(ValueError):
+            MapReduceEngine(2, 0)
+
+    def test_run_chained(self):
+        class Add(MapReduceJob):
+            def map(self, key, value, context):
+                yield key, value
+
+            def reduce(self, key, values, context):
+                yield key, sum(values) + 1
+
+        records = [(0, 0)]
+        out = MapReduceEngine(1, 1).run_chained([Add(), Add()], records)
+        assert out == [(0, 2)]
+
+    def test_spill_to_disk_roundtrip(self):
+        engine = MapReduceEngine(2, 2, spill_to_disk=True)
+        output, _ = engine.run(WordCountJob(), DOCUMENTS)
+        assert dict(output)["the"] == 3
+
+
+class TestRecordStore:
+    def test_memory_mode(self):
+        store = RecordStore()
+        store.extend([(1, "a"), (2, "b")])
+        assert len(store) == 2
+        assert list(store) == [(1, "a"), (2, "b")]
+        assert store.bytes_written > 0
+
+    def test_disk_mode_roundtrip_and_cleanup(self):
+        import os
+        store = RecordStore(spill_to_disk=True)
+        payload = (7, np.arange(10.0))
+        store.append(payload)
+        items = list(store)
+        assert items[0][0] == 7
+        np.testing.assert_allclose(items[0][1], np.arange(10.0))
+        path = store._path
+        store.close()
+        assert not os.path.exists(path)
+
+    def test_context_manager(self):
+        with RecordStore(spill_to_disk=True) as store:
+            store.append(("x", 1))
+            assert len(store) == 1
+
+    def test_serialized_size_monotonic(self):
+        assert serialized_size((1, np.zeros(100))) > serialized_size((1, np.zeros(10)))
+
+
+class TestMetricsCollector:
+    def test_record_and_totals(self):
+        collector = MetricsCollector()
+        collector.record("phase_a", 0, compute_units=10, bytes_in=100)
+        collector.record("phase_a", 0, compute_units=5, bytes_in=50)
+        collector.record("phase_a", 1, compute_units=1)
+        assert collector.total("compute_units", "phase_a") == 16
+        assert collector.get("phase_a", 0).bytes_in == 150
+
+    def test_peak_memory_takes_max(self):
+        collector = MetricsCollector()
+        collector.record("p", 0, peak_memory_bytes=100)
+        collector.record("p", 0, peak_memory_bytes=40)
+        assert collector.get("p", 0).peak_memory_bytes == 100
+
+    def test_per_instance_accumulates_across_phases(self):
+        collector = MetricsCollector()
+        collector.record("a", 0, bytes_in=10)
+        collector.record("b", 0, bytes_in=15)
+        collector.record("b", 1, bytes_in=3)
+        per_instance = collector.per_instance("bytes_in")
+        assert per_instance[0] == 25
+        assert per_instance[1] == 3
+
+    def test_phase_order_preserved(self):
+        collector = MetricsCollector()
+        collector.record("z_first", 0)
+        collector.record("a_second", 0)
+        assert collector.phases() == ["z_first", "a_second"]
+
+    def test_merge_from(self):
+        a = MetricsCollector()
+        a.record("p", 0, bytes_in=5)
+        b = MetricsCollector()
+        b.record("p", 0, bytes_in=7)
+        b.record("q", 1, records_in=2)
+        a.merge_from(b)
+        assert a.get("p", 0).bytes_in == 12
+        assert a.get("q", 1).records_in == 2
+
+    def test_size_estimators(self):
+        assert estimate_payload_bytes(np.zeros((4, 4))) == 128
+        assert estimate_payload_bytes({"a": 1.0, "b": np.zeros(2)}) > 16
+        assert estimate_payload_bytes(None) == 0.0
+        assert tensor_bytes((10, 10)) == 800
+        assert message_bytes(10, 4) == 10 * (4 * 8 + 8 + 16)
+
+
+class TestCostModel:
+    def test_instance_seconds_composition(self):
+        worker = WorkerSpec(cpu_cores=2, compute_units_per_second=100,
+                            network_bandwidth_bytes_per_second=1000,
+                            disk_bandwidth_bytes_per_second=500)
+        model = CostModel(ClusterSpec(num_workers=1, worker=worker))
+        metric = InstanceMetrics(phase="p", instance_id=0, compute_units=400,
+                                 bytes_in=2000, bytes_out=1000, disk_bytes=250)
+        # 400/(2*100) + 2000/1000 + 250/500 = 2 + 2 + 0.5
+        assert model.instance_seconds(metric) == pytest.approx(4.5)
+
+    def test_wall_clock_is_straggler_sum_over_phases(self):
+        collector = MetricsCollector()
+        collector.record("s0", 0, compute_units=100)
+        collector.record("s0", 1, compute_units=400)
+        collector.record("s1", 0, compute_units=200)
+        worker = WorkerSpec(cpu_cores=1, compute_units_per_second=100)
+        summary = CostModel(ClusterSpec(2, worker)).summarize(collector)
+        assert summary.wall_clock_seconds == pytest.approx(4.0 + 2.0)
+        assert summary.phases[0].straggler_instance == 1
+
+    def test_cpu_minutes_counts_all_instances(self):
+        collector = MetricsCollector()
+        collector.record("s0", 0, compute_units=600)
+        collector.record("s0", 1, compute_units=600)
+        worker = WorkerSpec(cpu_cores=2, compute_units_per_second=10)
+        summary = CostModel(ClusterSpec(2, worker)).summarize(collector)
+        # each instance busy 30 s, 2 cores each -> 120 core-seconds = 2 cpu-minutes
+        assert summary.cpu_minutes == pytest.approx(2.0)
+
+    def test_oom_reported(self):
+        collector = MetricsCollector()
+        collector.record("s0", 0, peak_memory_bytes=100e9)
+        summary = CostModel(ClusterSpec(1, WorkerSpec(memory_bytes=1e9))).summarize(collector)
+        assert summary.oom
+        assert summary.oom_instances
+
+    def test_oom_raises_when_checked(self):
+        collector = MetricsCollector()
+        collector.record("s0", 3, peak_memory_bytes=100e9)
+        model = CostModel(ClusterSpec(4, WorkerSpec(memory_bytes=1e9)))
+        with pytest.raises(OutOfMemoryError):
+            model.summarize(collector, check_memory=True)
+
+    def test_instance_times_helper(self):
+        collector = MetricsCollector()
+        collector.record("a", 0, compute_units=100)
+        collector.record("b", 0, compute_units=100)
+        worker = WorkerSpec(cpu_cores=1, compute_units_per_second=100)
+        summary = CostModel(ClusterSpec(1, worker)).summarize(collector)
+        assert summary.instance_times()[0] == pytest.approx(2.0)
+        assert summary.instance_times("a")[0] == pytest.approx(1.0)
+
+    def test_gnn_layer_compute_units(self):
+        cost = gnn_layer_compute_units(num_messages=10, message_dim=4, num_nodes=5,
+                                       in_dim=3, out_dim=2)
+        assert cost == 10 * 4 + 5 * 3 * 2
+
+    def test_cluster_presets(self):
+        assert ClusterSpec.pregel_default(10).total_cores == 20
+        assert ClusterSpec.mapreduce_default(5).worker.memory_bytes == pytest.approx(2e9)
+        assert ClusterSpec.traditional_default(3).worker.cpu_cores == 10

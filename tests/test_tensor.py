@@ -1,0 +1,337 @@
+"""Tests for the autodiff tensor: ops, gradients, segment reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, concatenate, no_grad, stack, zeros, ones
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = fn(x)
+        flat[index] = original - eps
+        lower = fn(x)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestTensorBasics:
+    def test_construction_and_shape(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert not t.requires_grad
+
+    def test_detach_breaks_graph(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, t.data)
+
+    def test_len_and_numpy(self):
+        t = Tensor(np.arange(5.0))
+        assert len(t) == 5
+        assert t.numpy() is t.data
+
+    def test_item_scalar(self):
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+
+class TestArithmeticGradients:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_add_broadcast_backward(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [3.0, 3.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        (a - b).backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+        c = Tensor([2.0], requires_grad=True)
+        (-c).backward()
+        np.testing.assert_allclose(c.grad, [-1.0])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_matmul_backward_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        a_val = rng.normal(size=(3, 4))
+        b_val = rng.normal(size=(4, 2))
+        a = Tensor(a_val.copy(), requires_grad=True)
+        b = Tensor(b_val.copy(), requires_grad=True)
+        (a @ b).sum().backward()
+        num_a = numerical_grad(lambda x: (x @ b_val).sum(), a_val.copy())
+        num_b = numerical_grad(lambda x: (a_val @ x).sum(), b_val.copy())
+        np.testing.assert_allclose(a.grad, num_a, atol=1e-5)
+        np.testing.assert_allclose(b.grad, num_b, atol=1e-5)
+
+    def test_rsub_rtruediv(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = 1.0 - a
+        np.testing.assert_allclose(out.data, [-1.0])
+        out2 = 1.0 / a
+        np.testing.assert_allclose(out2.data, [0.5])
+
+    def test_scalar_right_ops(self):
+        a = Tensor([2.0])
+        np.testing.assert_allclose((3.0 * a).data, [6.0])
+        np.testing.assert_allclose((3.0 + a).data, [5.0])
+
+
+class TestShapingIndexing:
+    def test_reshape_backward(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_transpose(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        assert a.T.shape == (3, 2)
+        a.T.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_getitem_gather_backward_accumulates_duplicates(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        index = np.array([0, 0, 2])
+        a[index].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_concatenate_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        concatenate([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_zeros_ones_helpers(self):
+        assert zeros((2, 3)).shape == (2, 3)
+        assert ones((4,)).data.sum() == 4.0
+
+
+class TestReductionsActivations:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=0, keepdims=True)
+        assert out.shape == (1, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_max_gradient_flows_to_argmax(self):
+        a = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        a = Tensor(np.array([[1.0, 4.0], [3.0, 2.0]]), requires_grad=True)
+        out = a.max(axis=1)
+        np.testing.assert_allclose(out.data, [4.0, 3.0])
+
+    @pytest.mark.parametrize("name", ["exp", "log", "relu", "sigmoid", "tanh"])
+    def test_unary_gradients_match_numerical(self, name):
+        rng = np.random.default_rng(1)
+        x_val = rng.uniform(0.2, 2.0, size=(3, 3))
+        x = Tensor(x_val.copy(), requires_grad=True)
+        getattr(x, name)().sum().backward()
+
+        def scalar_fn(arr):
+            t = Tensor(arr)
+            return float(getattr(t, name)().sum().data)
+
+        numeric = numerical_grad(scalar_fn, x_val.copy())
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-4)
+
+    def test_leaky_relu_negative_slope(self):
+        x = Tensor([-2.0, 3.0], requires_grad=True)
+        out = x.leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 7)))
+        probs = ops.softmax(x, axis=-1)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_log_softmax_consistency(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(4, 6)))
+        np.testing.assert_allclose(ops.log_softmax(x).data,
+                                   np.log(ops.softmax(x).data), atol=1e-10)
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        from repro.tensor.tensor import is_grad_enabled
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestSegmentOps:
+    def test_segment_sum_basic(self):
+        values = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = ops.segment_sum(values, np.array([0, 0, 1]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [3.0], [0.0]])
+
+    def test_segment_sum_backward(self):
+        values = Tensor(np.ones((4, 2)), requires_grad=True)
+        ops.segment_sum(values, np.array([0, 1, 1, 0]), 2).sum().backward()
+        np.testing.assert_allclose(values.grad, np.ones((4, 2)))
+
+    def test_segment_mean_empty_segments_are_zero(self):
+        values = Tensor(np.array([[4.0], [6.0]]))
+        out = ops.segment_mean(values, np.array([1, 1]), 3)
+        np.testing.assert_allclose(out.data, [[0.0], [5.0], [0.0]])
+
+    def test_segment_max(self):
+        values = Tensor(np.array([[1.0], [9.0], [5.0]]))
+        out = ops.segment_max(values, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[9.0], [5.0]])
+
+    def test_segment_max_empty_segment_is_zero(self):
+        values = Tensor(np.array([[1.0]]))
+        out = ops.segment_max(values, np.array([1]), 2)
+        np.testing.assert_allclose(out.data, [[0.0], [1.0]])
+
+    def test_segment_softmax_sums_to_one_per_segment(self):
+        rng = np.random.default_rng(5)
+        values = Tensor(rng.normal(size=(10, 3)))
+        ids = rng.integers(0, 4, size=10)
+        probs = ops.segment_softmax(values, ids, 4)
+        sums = np.zeros((4, 3))
+        np.add.at(sums, ids, probs.data)
+        for segment in np.unique(ids):
+            np.testing.assert_allclose(sums[segment], np.ones(3), atol=1e-10)
+
+    def test_segment_count(self):
+        counts = ops.segment_count(np.array([0, 2, 2, 2]), 4)
+        np.testing.assert_array_equal(counts, [1, 0, 3, 0])
+
+    def test_spmm_equals_dense(self):
+        rng = np.random.default_rng(6)
+        num_nodes = 6
+        src = rng.integers(0, num_nodes, size=12)
+        dst = rng.integers(0, num_nodes, size=12)
+        state = rng.normal(size=(num_nodes, 3))
+        dense = np.zeros((num_nodes, num_nodes))
+        for s, d in zip(src, dst):
+            dense[d, s] += 1.0
+        expected = dense @ state
+        out = ops.spmm(dst, src, None, Tensor(state), num_nodes)
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_gather_rows(self):
+        x = Tensor(np.arange(6.0).reshape(3, 2))
+        out = ops.gather_rows(x, np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [[4.0, 5.0], [0.0, 1.0]])
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = ops.dropout(x, 0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_training_scales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((2000,)))
+        out = ops.dropout(x, 0.5, training=True, rng=rng)
+        # Inverted dropout keeps the expectation, so the mean stays near 1.
+        assert abs(out.data.mean() - 1.0) < 0.1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_rows=st.integers(min_value=1, max_value=30),
+    num_segments=st.integers(min_value=1, max_value=8),
+    width=st.integers(min_value=1, max_value=4),
+)
+def test_segment_sum_matches_bincount(num_rows, num_segments, width):
+    """Property: segment_sum agrees with a per-column bincount reference."""
+    rng = np.random.default_rng(num_rows * 31 + num_segments)
+    values = rng.normal(size=(num_rows, width))
+    ids = rng.integers(0, num_segments, size=num_rows)
+    out = ops.segment_sum(Tensor(values), ids, num_segments).data
+    expected = np.zeros((num_segments, width))
+    for column in range(width):
+        expected[:, column] = np.bincount(ids, weights=values[:, column], minlength=num_segments)
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_rows=st.integers(min_value=1, max_value=25),
+    num_segments=st.integers(min_value=1, max_value=6),
+)
+def test_segment_mean_between_min_and_max(num_rows, num_segments):
+    """Property: per-segment mean lies between the segment's min and max."""
+    rng = np.random.default_rng(num_rows * 17 + num_segments)
+    values = rng.normal(size=(num_rows, 2))
+    ids = rng.integers(0, num_segments, size=num_rows)
+    means = ops.segment_mean(Tensor(values), ids, num_segments).data
+    for segment in np.unique(ids):
+        rows = values[ids == segment]
+        assert np.all(means[segment] >= rows.min(axis=0) - 1e-9)
+        assert np.all(means[segment] <= rows.max(axis=0) + 1e-9)
