@@ -9,9 +9,9 @@ the graph has hub accounts with enormous degree.  This example:
 2. trains a GraphSAGE risk model on 1% labelled nodes;
 3. shows the consistency failure of sampling-based inference (the same nodes
    get different risk classes across runs);
-4. runs InferTurbo with all hub-node strategies enabled and shows that
-   (a) predictions are identical across runs and (b) the straggler/IO load of
-   the hub-owning workers drops.
+4. opens an :class:`InferenceSession` with all hub-node strategies enabled
+   (plan once, score nightly) and shows that (a) predictions are identical
+   across runs and (b) the straggler/IO load of the hub-owning workers drops.
 
 Run:  python examples/fraud_detection_powerlaw.py
 """
@@ -23,7 +23,7 @@ import numpy as np
 from repro.baselines import TraditionalConfig, TraditionalPipeline
 from repro.datasets import load_dataset
 from repro.gnn import build_model
-from repro.inference import InferTurbo, InferenceConfig, StrategyConfig
+from repro.inference import InferenceConfig, InferenceSession, StrategyConfig
 from repro.training import TrainConfig, Trainer
 
 
@@ -50,20 +50,22 @@ def main() -> None:
     print(f"sampling-based inference: {100 * flips:.1f}% of audited accounts change "
           f"risk class between runs — unacceptable for a financial decision system")
 
-    # --- InferTurbo: full graph, hub strategies, consistent -------------- #
+    # --- Full-graph session: plan once, score nightly, consistent -------- #
     strategies = StrategyConfig(partial_gather=True, broadcast=True, shadow_nodes=True)
     config = InferenceConfig(backend="pregel", num_workers=16, strategies=strategies)
-    first = InferTurbo(model, config).run(graph)
-    second = InferTurbo(model, config).run(graph)
+    session = InferenceSession(model, config)
+    session.prepare(graph)                # strategy plan + shadow rewrite, once
+    first, second = session.infer_many(2)  # repeated scoring reuses the plan
     assert np.array_equal(first.scores, second.scores)
     risk_classes = first.predicted_classes()
-    print(f"InferTurbo: scored all {graph.num_nodes} accounts, "
+    print(f"full-graph session: scored all {graph.num_nodes} accounts, "
           f"{(risk_classes == 1).sum()} flagged; repeated run identical ✓")
 
     # --- Hub-node load balancing ----------------------------------------- #
-    base = InferTurbo(model, InferenceConfig(backend="pregel", num_workers=16,
-                                             strategies=StrategyConfig(partial_gather=False))
-                      ).run(graph)
+    base_session = InferenceSession(model, InferenceConfig(
+        backend="pregel", num_workers=16,
+        strategies=StrategyConfig(partial_gather=False)))
+    base = base_session.infer(graph)
     base_out = np.array(list(base.metrics.per_instance("bytes_out").values()))
     tuned_out = np.array(list(first.metrics.per_instance("bytes_out").values()))
     print(f"worst worker output IO: base {base_out.max() / 1e6:.2f} MB -> "

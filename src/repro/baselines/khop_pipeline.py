@@ -64,7 +64,7 @@ class TraditionalResult:
     """Outcome of a traditional-pipeline inference run."""
 
     scores: Optional[np.ndarray]
-    cost: CostSummary
+    cost: Optional[CostSummary]
     metrics: MetricsCollector
     num_batches: int
     total_subgraph_nodes: int = 0
@@ -107,8 +107,17 @@ class TraditionalPipeline:
     # ------------------------------------------------------------------ #
     def run(self, graph: Graph, targets: Optional[Sequence[int]] = None,
             compute_scores: bool = True, seed: Optional[int] = None,
-            check_memory: bool = False) -> TraditionalResult:
-        """Run batched k-hop inference over ``targets`` (default: every node)."""
+            check_memory: bool = False,
+            metrics: Optional[MetricsCollector] = None,
+            compute_cost: bool = True) -> TraditionalResult:
+        """Run batched k-hop inference over ``targets`` (default: every node).
+
+        ``metrics`` lets a caller (the ``"khop"`` inference backend) supply its
+        own collector so the run's counters land in the session's report;
+        such callers price the metrics themselves and pass
+        ``compute_cost=False`` to skip the internal roll-up (``result.cost``
+        is then None).
+        """
         config = self.config
         rng = np.random.default_rng(config.seed if seed is None else seed)
         sampler = config.sampler(rng)
@@ -117,7 +126,8 @@ class TraditionalPipeline:
         else:
             targets = np.asarray(list(targets), dtype=np.int64)
 
-        metrics = MetricsCollector()
+        if metrics is None:
+            metrics = MetricsCollector()
         store = DistributedGraphStore(graph, config.num_store_workers, metrics)
         scores = np.zeros((graph.num_nodes, self.model.output_dim)) if compute_scores else None
 
@@ -151,7 +161,8 @@ class TraditionalPipeline:
                         num_nodes=subgraph.num_nodes, mode=LayerMode.PREDICT)
                 scores[seeds] = logits.data[subgraph.target_positions]
 
-        cost = CostModel(config.cluster).summarize(metrics, check_memory=check_memory)
+        cost = (CostModel(config.cluster).summarize(metrics, check_memory=check_memory)
+                if compute_cost else None)
         return TraditionalResult(
             scores=scores, cost=cost, metrics=metrics, num_batches=num_batches,
             total_subgraph_nodes=total_nodes, total_subgraph_edges=total_edges,

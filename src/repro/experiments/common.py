@@ -9,8 +9,8 @@ import numpy as np
 
 from repro.datasets.registry import Dataset, load_dataset
 from repro.gnn.model import GNNModel, build_model
-from repro.inference import InferTurbo, InferenceConfig, StrategyConfig
-from repro.inference.inferturbo import InferenceResult
+from repro.inference import InferenceConfig, InferenceSession, StrategyConfig
+from repro.inference.session import InferenceResult
 from repro.training.trainer import TrainConfig, Trainer
 
 
@@ -34,15 +34,25 @@ def untrained_model(dataset: Dataset, arch: str, hidden_dim: int = 64, num_layer
                        num_layers=num_layers, seed=seed)
 
 
-def run_inferturbo(model: GNNModel, dataset: Dataset, backend: str = "pregel",
-                   num_workers: int = 8, strategies: Optional[StrategyConfig] = None,
-                   collect_embeddings: bool = False) -> InferenceResult:
-    """Run full-graph inference with the given backend and strategies."""
+def run_inference(model: GNNModel, dataset: Dataset, backend: str = "pregel",
+                  num_workers: int = 8, strategies: Optional[StrategyConfig] = None,
+                  collect_embeddings: bool = False) -> InferenceResult:
+    """One-shot inference through any registered backend via a session.
+
+    ``backend`` accepts every registered name (``"pregel"``, ``"mapreduce"``,
+    ``"khop"``, ...), so an experiment can sweep all substrates through this
+    single entry point.
+    """
     config = InferenceConfig(backend=backend, num_workers=num_workers,
                              strategies=strategies or StrategyConfig(),
                              collect_embeddings=collect_embeddings)
-    engine = InferTurbo(model, config)
-    return engine.run(dataset.graph)
+    session = InferenceSession(model, config)
+    session.prepare(dataset.graph)
+    return session.infer()
+
+
+#: backwards-compatible alias used by the pre-session experiment harnesses.
+run_inferturbo = run_inference
 
 
 def evaluate_scores(dataset: Dataset, scores: np.ndarray, nodes: np.ndarray) -> float:

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.datasets.registry import Dataset, load_dataset
-from repro.experiments.common import run_inferturbo, untrained_model
+from repro.experiments.common import run_inference, untrained_model
 from repro.experiments.reporting import format_table
 from repro.inference import StrategyConfig
 
@@ -57,8 +57,8 @@ def run(dataset: Optional[Dataset] = None, num_nodes: int = 20_000, avg_degree: 
             shadow_nodes=base_config.shadow_nodes,
             hub_threshold_override=hub_threshold,
         )
-        inference = run_inferturbo(model, dataset, backend="pregel", num_workers=num_workers,
-                                   strategies=strategies)
+        inference = run_inference(model, dataset, backend="pregel", num_workers=num_workers,
+                                  strategies=strategies)
         result.instance_times[name] = inference.cost.instance_times()
     return result
 

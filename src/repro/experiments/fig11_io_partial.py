@@ -15,7 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.datasets.registry import Dataset, load_dataset
-from repro.experiments.common import run_inferturbo, tail_mean, untrained_model
+from repro.experiments.common import run_inference, tail_mean, untrained_model
 from repro.experiments.reporting import format_table
 from repro.inference import StrategyConfig
 
@@ -53,10 +53,10 @@ def run(dataset: Optional[Dataset] = None, num_nodes: int = 20_000, avg_degree: 
                                       skew="in", seed=seed)
     model = untrained_model(dataset, "sage", hidden_dim=hidden_dim, num_layers=2, seed=seed)
 
-    base = run_inferturbo(model, dataset, backend="pregel", num_workers=num_workers,
-                          strategies=StrategyConfig(partial_gather=False))
-    partial = run_inferturbo(model, dataset, backend="pregel", num_workers=num_workers,
-                             strategies=StrategyConfig(partial_gather=True))
+    base = run_inference(model, dataset, backend="pregel", num_workers=num_workers,
+                         strategies=StrategyConfig(partial_gather=False))
+    partial = run_inference(model, dataset, backend="pregel", num_workers=num_workers,
+                            strategies=StrategyConfig(partial_gather=True))
     return Fig11Result(
         base_bytes_in=base.metrics.per_instance("bytes_in"),
         partial_bytes_in=partial.metrics.per_instance("bytes_in"),

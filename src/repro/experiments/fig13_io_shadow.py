@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.datasets.registry import Dataset, load_dataset
-from repro.experiments.common import run_inferturbo, untrained_model
+from repro.experiments.common import run_inference, untrained_model
 from repro.experiments.reporting import format_table
 from repro.inference import StrategyConfig
 from repro.inference.strategies import hub_threshold
@@ -57,11 +57,11 @@ def run(dataset: Optional[Dataset] = None, num_nodes: int = 20_000, avg_degree: 
                              max(heuristic // 2, 1), heuristic}, reverse=True)
 
     result = Fig13Result(heuristic_threshold=heuristic)
-    base = run_inferturbo(model, dataset, backend="pregel", num_workers=num_workers,
-                          strategies=StrategyConfig(partial_gather=False, shadow_nodes=False))
+    base = run_inference(model, dataset, backend="pregel", num_workers=num_workers,
+                         strategies=StrategyConfig(partial_gather=False, shadow_nodes=False))
     result.series["base"] = base.metrics.per_instance("bytes_out")
     for threshold in thresholds:
-        inference = run_inferturbo(
+        inference = run_inference(
             model, dataset, backend="pregel", num_workers=num_workers,
             strategies=StrategyConfig(partial_gather=False, shadow_nodes=True,
                                       hub_threshold_override=int(threshold)))

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.baselines.khop_pipeline import TraditionalConfig, TraditionalPipeline
 from repro.datasets.registry import Dataset, load_dataset
-from repro.experiments.common import run_inferturbo, train_model
+from repro.experiments.common import run_inference, train_model
 from repro.experiments.reporting import format_table
 
 
@@ -87,7 +87,7 @@ def run(dataset: Optional[Dataset] = None, fanouts: Sequence[int] = (2, 5, 10, 2
     # use the same run count for a like-for-like histogram.
     inferturbo_predictions = np.zeros((num_runs, targets.size), dtype=np.int64)
     for run_index in range(num_runs):
-        inference = run_inferturbo(model, dataset, backend="pregel", num_workers=num_workers)
+        inference = run_inference(model, dataset, backend="pregel", num_workers=num_workers)
         inferturbo_predictions[run_index] = inference.scores[targets].argmax(axis=-1)
     result.inferturbo_distinct_classes = _distinct_class_histogram(inferturbo_predictions)
     return result

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.datasets.registry import load_dataset
-from repro.experiments.common import run_inferturbo, untrained_model
+from repro.experiments.common import run_inference, untrained_model
 from repro.experiments.reporting import format_table
 from repro.inference import StrategyConfig
 
@@ -52,8 +52,8 @@ def run(scales: Sequence[int] = (2_000, 8_000, 32_000), avg_degree: float = 10.0
         dataset = load_dataset("powerlaw", num_nodes=int(num_nodes), avg_degree=avg_degree,
                                skew="both", seed=seed)
         model = untrained_model(dataset, "gat", hidden_dim=hidden_dim, num_layers=2, seed=seed)
-        inference = run_inferturbo(model, dataset, backend=backend, num_workers=num_workers,
-                                   strategies=StrategyConfig(partial_gather=True))
+        inference = run_inference(model, dataset, backend=backend, num_workers=num_workers,
+                                  strategies=StrategyConfig(partial_gather=True))
         result.points.append(ScalePoint(
             num_nodes=dataset.graph.num_nodes,
             num_edges=dataset.graph.num_edges,

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.datasets.registry import Dataset, load_dataset
-from repro.experiments.common import run_inferturbo, untrained_model
+from repro.experiments.common import run_inference, untrained_model
 from repro.experiments.reporting import format_table
 from repro.inference import StrategyConfig
 
@@ -59,8 +59,8 @@ def measure(dataset: Dataset, strategies: StrategyConfig, num_workers: int,
             hidden_dim: int, seed: int) -> InstanceSeries:
     """Run SAGE inference and collect per-instance counters and latencies."""
     model = untrained_model(dataset, "sage", hidden_dim=hidden_dim, num_layers=2, seed=seed)
-    inference = run_inferturbo(model, dataset, backend="pregel", num_workers=num_workers,
-                               strategies=strategies)
+    inference = run_inference(model, dataset, backend="pregel", num_workers=num_workers,
+                              strategies=strategies)
     return InstanceSeries(
         records_in=inference.metrics.per_instance("records_in"),
         bytes_in=inference.metrics.per_instance("bytes_in"),

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.baselines.khop_pipeline import TraditionalConfig, TraditionalPipeline
 from repro.datasets.registry import load_dataset
-from repro.experiments.common import evaluate_scores, run_inferturbo, train_model
+from repro.experiments.common import evaluate_scores, run_inference, train_model
 from repro.experiments.reporting import format_table
 
 
@@ -65,10 +65,10 @@ def run(datasets: Optional[Sequence[str]] = None, archs: Optional[Sequence[str]]
             traditional = pipeline.run(dataset.graph, targets=eval_nodes, compute_scores=True)
             traditional_metric = evaluate_scores(dataset, traditional.scores, eval_nodes)
 
-            pregel = run_inferturbo(model, dataset, backend="pregel", num_workers=num_workers)
+            pregel = run_inference(model, dataset, backend="pregel", num_workers=num_workers)
             pregel_metric = evaluate_scores(dataset, pregel.scores, eval_nodes)
 
-            mapreduce = run_inferturbo(model, dataset, backend="mapreduce", num_workers=num_workers)
+            mapreduce = run_inference(model, dataset, backend="mapreduce", num_workers=num_workers)
             mapreduce_metric = evaluate_scores(dataset, mapreduce.scores, eval_nodes)
 
             result.rows.append(Table2Row(

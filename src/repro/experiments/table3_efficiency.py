@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.khop_pipeline import TraditionalConfig, TraditionalPipeline
 from repro.datasets.registry import Dataset, load_dataset
-from repro.experiments.common import run_inferturbo, untrained_model
+from repro.experiments.common import run_inference, untrained_model
 from repro.experiments.reporting import format_table
 from repro.inference import StrategyConfig
 
@@ -93,8 +93,8 @@ def run(dataset: Optional[Dataset] = None, archs: Optional[Sequence[str]] = None
 
         # InferTurbo on both backends (partial-gather on, hub strategies default).
         for backend in ("mapreduce", "pregel"):
-            inference = run_inferturbo(model, dataset, backend=backend, num_workers=num_workers,
-                                       strategies=StrategyConfig(partial_gather=True))
+            inference = run_inference(model, dataset, backend=backend, num_workers=num_workers,
+                                      strategies=StrategyConfig(partial_gather=True))
             result.rows.append(Table3Row(
                 arch=arch, pipeline=backend,
                 wall_clock_minutes=inference.cost.wall_clock_minutes,

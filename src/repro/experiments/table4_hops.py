@@ -24,7 +24,7 @@ import numpy as np
 from repro.baselines.khop_pipeline import TraditionalConfig, TraditionalPipeline
 from repro.cluster.resources import ClusterSpec, WorkerSpec
 from repro.datasets.registry import Dataset, load_dataset
-from repro.experiments.common import run_inferturbo
+from repro.experiments.common import run_inference
 from repro.experiments.reporting import format_table
 from repro.gnn.model import build_model
 from repro.inference import StrategyConfig
@@ -108,8 +108,8 @@ def run(dataset: Optional[Dataset] = None, hops: Sequence[int] = (1, 2, 3),
                 oom=estimate.cost.oom,
             ))
 
-        inference = run_inferturbo(model, dataset, backend="mapreduce", num_workers=num_workers,
-                                   strategies=StrategyConfig(partial_gather=True))
+        inference = run_inference(model, dataset, backend="mapreduce", num_workers=num_workers,
+                                  strategies=StrategyConfig(partial_gather=True))
         result.cells.append(Table4Cell(
             pipeline="ours", hops=int(num_hops),
             wall_clock_minutes=inference.cost.wall_clock_minutes,

@@ -1,10 +1,31 @@
-"""InferTurbo — full-graph GNN inference over scalable backends.
+"""Full-graph GNN inference over pluggable, interchangeable backends.
 
-The public entry point is :class:`~repro.inference.inferturbo.InferTurbo`:
-load a trained model (or its exported signature), pick a backend
-(``"pregel"`` or ``"mapreduce"``) and a configuration, call
-:meth:`~repro.inference.inferturbo.InferTurbo.run` on a graph, and receive
-per-node predictions together with the simulated cluster cost breakdown.
+The public entry point is :class:`~repro.inference.session.InferenceSession`:
+load a trained model (or its exported signature), pick a registered backend by
+name, ``prepare(graph)`` once, then ``infer()`` as many times as traffic
+demands — every execution reuses the cached plan (strategy resolution,
+shadow-node rewrite, partition layout / record ingest) and returns per-node
+predictions with a simulated cluster cost breakdown::
+
+    from repro.inference import InferenceSession, InferenceConfig, StrategyConfig
+
+    session = InferenceSession(signature, InferenceConfig(backend="pregel",
+                                                          num_workers=16))
+    session.prepare(graph)               # plan once
+    result = session.infer()             # ...infer many
+    nightly = session.infer_many(7)
+    print(session.report().describe())
+
+Backends live in a plugin registry (:mod:`repro.inference.backends`):
+
+* ``"pregel"``    — memory-resident graph processing, one superstep per layer;
+* ``"mapreduce"`` — storage-resident batch processing, one round per layer;
+* ``"khop"``      — the traditional mini-batch k-hop baseline, wrapped as a
+  first-class backend so comparison tables run all three through one API.
+
+``available_backends()`` lists the registered names and
+``register_backend(name)`` adds new ones — the seam future backends (async,
+sharded serving) plug into.
 
 Hub-node optimisation strategies (paper Section IV-D):
 
@@ -22,18 +43,40 @@ Hub-node optimisation strategies (paper Section IV-D):
 All three strategies drop no information, so predictions are bit-identical to
 the single-machine forward pass — the property the consistency experiment
 (Fig. 7) relies on.
+
+:class:`~repro.inference.inferturbo.InferTurbo` remains as a deprecated
+one-shot shim over the session API.
 """
 
+from repro.inference.backends import (
+    Backend,
+    ExecutionPlan,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.inference.config import InferenceConfig, StrategyConfig
-from repro.inference.inferturbo import InferTurbo, InferenceResult
+from repro.inference.inferturbo import InferTurbo
+from repro.inference.session import InferenceResult, InferenceSession, RunReport
 from repro.inference.strategies import hub_threshold, StrategyPlan, build_strategy_plan
 from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
 
 __all__ = [
     "InferenceConfig",
     "StrategyConfig",
+    "InferenceSession",
+    "RunReport",
     "InferTurbo",
     "InferenceResult",
+    "Backend",
+    "ExecutionPlan",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
     "hub_threshold",
     "StrategyPlan",
     "build_strategy_plan",

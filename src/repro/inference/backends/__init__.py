@@ -1,0 +1,44 @@
+"""Pluggable inference backends.
+
+Importing this package registers the three built-in backends:
+
+* ``"pregel"``    — memory-resident graph processing (fastest);
+* ``"mapreduce"`` — storage-resident batch processing (smallest footprint);
+* ``"khop"``      — the traditional mini-batch k-hop baseline (for
+  comparison tables, full neighbourhoods so results match exactly).
+
+Third-party backends register through the same :func:`register_backend`
+decorator — see :mod:`repro.inference.backends.base` for the protocol.
+"""
+
+from repro.inference.backends.base import (
+    Backend,
+    ExecutionPlan,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    merge_hub_mirrors,
+    plan_gas_execution,
+    register_backend,
+    unregister_backend,
+)
+
+# Importing the modules registers the built-in backends.
+from repro.inference.backends.pregel import PregelBackend
+from repro.inference.backends.mapreduce import MapReduceBackend
+from repro.inference.backends.khop import KHopBackend
+
+__all__ = [
+    "Backend",
+    "ExecutionPlan",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "merge_hub_mirrors",
+    "plan_gas_execution",
+    "register_backend",
+    "unregister_backend",
+    "PregelBackend",
+    "MapReduceBackend",
+    "KHopBackend",
+]

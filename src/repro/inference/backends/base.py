@@ -1,0 +1,196 @@
+"""Backend plugin registry and the execution-plan abstraction.
+
+A *backend* is an interchangeable execution substrate for full-graph GNN
+inference under the shared GAS programming model.  Each backend implements a
+small protocol:
+
+* ``name`` — the registry key users put in :class:`InferenceConfig.backend`;
+* ``plan(model, graph, config)`` — one-time preparation: strategy resolution,
+  shadow-node graph rewrite, partition layout / input-record ingest — anything
+  that can be computed once and reused across repeated executions;
+* ``execute(plan, metrics)`` — one inference run over a previously built
+  :class:`ExecutionPlan`, recording per-instance counters into ``metrics``.
+
+Backends self-register through the :func:`register_backend` decorator; the
+rest of the system looks them up by name via :func:`get_backend` and never
+hard-codes a backend list.  Third-party code can register additional backends
+the same way (the decorator is the whole plugin API).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, Set, Type, runtime_checkable
+
+import numpy as np
+
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.resources import ClusterSpec
+from repro.gnn.model import GNNModel
+from repro.graph.graph import Graph
+from repro.inference.config import InferenceConfig
+from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
+from repro.inference.strategies import StrategyPlan, build_strategy_plan
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything a backend prepares once and reuses across executions.
+
+    The plan is the cacheable half of an inference run: the resolved strategy
+    switches, the (optional) shadow-node rewritten graph, and any
+    backend-private artefacts in ``state`` (a partitioned Pregel engine, the
+    MapReduce input records, a k-hop pipeline).  Executing a plan never
+    mutates it, so one plan supports arbitrarily many ``execute`` calls.
+    """
+
+    backend: str
+    model: GNNModel
+    graph: Graph
+    config: InferenceConfig
+    strategy_plan: StrategyPlan
+    shadow_plan: Optional[ShadowNodePlan] = None
+    num_supersteps: int = 0
+    #: backend-private precomputed artefacts (engines, records, pipelines).
+    state: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def working_graph(self) -> Graph:
+        """The graph the backend actually executes over (post shadow rewrite)."""
+        return self.shadow_plan.graph if self.shadow_plan is not None else self.graph
+
+    @property
+    def original_num_nodes(self) -> int:
+        return (self.shadow_plan.original_num_nodes if self.shadow_plan is not None
+                else self.graph.num_nodes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by ``RunReport``."""
+        parts = [
+            f"backend={self.backend}",
+            f"layers={self.model.num_layers}",
+            f"workers={self.config.num_workers}",
+            f"strategies={self.config.strategies.describe()}",
+            f"threshold={self.strategy_plan.threshold}",
+            f"hubs={int(self.strategy_plan.out_degree_hubs.size)}",
+        ]
+        if self.shadow_plan is not None:
+            parts.append(f"mirrors={self.shadow_plan.num_mirrors}")
+        return ", ".join(parts)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The protocol every registered backend implements."""
+
+    name: str
+
+    def default_cluster(self, num_workers: int) -> ClusterSpec:
+        """The cluster flavour this backend simulates by default."""
+        ...
+
+    def plan(self, model: GNNModel, graph: Graph,
+             config: InferenceConfig) -> ExecutionPlan:
+        ...
+
+    def execute(self, plan: ExecutionPlan,
+                metrics: MetricsCollector) -> Dict[str, np.ndarray]:
+        ...
+
+
+class UnknownBackendError(ValueError):
+    """Raised when a backend name is not in the registry."""
+
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering a :class:`Backend` implementation.
+
+    The decorated class is instantiated once (backends are stateless — all
+    per-run state lives in the :class:`ExecutionPlan`) and becomes reachable
+    through :func:`get_backend`.  Registering a name twice is an error so a
+    plugin cannot silently replace a built-in.
+    """
+
+    def decorator(cls: Type) -> Type:
+        if name in _REGISTRY:
+            raise ValueError(
+                f"backend {name!r} is already registered "
+                f"(by {type(_REGISTRY[name]).__name__}); "
+                f"pick a different name or unregister_backend({name!r}) first")
+        cls.name = name
+        _REGISTRY[name] = cls()
+        return cls
+
+    return decorator
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (mainly for tests and plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a registered backend by name, with a helpful error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(repr(n) for n in sorted(_REGISTRY)) or "<none>"
+        raise UnknownBackendError(
+            f"unknown inference backend {name!r}; registered backends: {known}"
+        ) from None
+
+
+def available_backends() -> Set[str]:
+    """The names of all currently registered backends."""
+    return set(_REGISTRY)
+
+
+# --------------------------------------------------------------------------- #
+# Shared GAS planning used by the full-graph backends.
+# --------------------------------------------------------------------------- #
+def merge_hub_mirrors(strategy_plan: StrategyPlan,
+                      shadow_plan: Optional[ShadowNodePlan]) -> None:
+    """Give shadow mirrors of out-degree hubs the hub treatment (SN+BC combo).
+
+    The merged ``out_degree_hubs`` array is always deduplicated, sorted and
+    ``int64`` — including when either side is empty, where a plain
+    ``np.concatenate`` over untyped empty arrays would degrade to
+    ``object``/``float64`` dtype.
+    """
+    hubs = np.asarray(strategy_plan.out_degree_hubs, dtype=np.int64).reshape(-1)
+    if shadow_plan is not None and shadow_plan.mirror_origin:
+        hub_set = set(int(h) for h in hubs)
+        mirrors = np.asarray(
+            [int(mid) for mid, origin in shadow_plan.mirror_origin.items()
+             if int(origin) in hub_set],
+            dtype=np.int64)
+        hubs = np.concatenate([hubs, mirrors])
+    strategy_plan.out_degree_hubs = np.unique(hubs)
+
+
+def plan_gas_execution(backend_name: str, model: GNNModel, graph: Graph,
+                       config: InferenceConfig) -> ExecutionPlan:
+    """The planning steps shared by every full-graph (GAS) backend.
+
+    Resolves the per-layer strategy plan, applies the shadow-node graph
+    rewrite when enabled, and merges hub mirrors into the hub set.
+    """
+    has_edge_features = graph.edge_features is not None
+    strategy_plan = build_strategy_plan(model, graph, config.num_workers,
+                                        config.strategies, has_edge_features)
+    shadow_plan: Optional[ShadowNodePlan] = None
+    if config.strategies.shadow_nodes:
+        shadow_plan = apply_shadow_nodes(graph, strategy_plan.threshold,
+                                         config.num_workers)
+        merge_hub_mirrors(strategy_plan, shadow_plan)
+    return ExecutionPlan(
+        backend=backend_name,
+        model=model,
+        graph=graph,
+        config=config,
+        strategy_plan=strategy_plan,
+        shadow_plan=shadow_plan,
+    )

@@ -1,0 +1,45 @@
+"""The MapReduce batch-processing backend as a registry plugin.
+
+Planning ingests the (possibly shadow-expanded) node table into input records
+once; every execution replays the cached records through a fresh engine, so
+repeated ``infer()`` calls skip the per-node table scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.resources import ClusterSpec
+from repro.gnn.model import GNNModel
+from repro.graph.graph import Graph
+from repro.inference.config import InferenceConfig
+from repro.inference.backends.base import (
+    ExecutionPlan,
+    plan_gas_execution,
+    register_backend,
+)
+from repro.inference.mapreduce_adaptor import build_input_records, run_mapreduce_inference
+
+
+@register_backend("mapreduce")
+class MapReduceBackend:
+    """Storage-resident batch backend (one map/reduce round per layer)."""
+
+    def default_cluster(self, num_workers: int) -> ClusterSpec:
+        return ClusterSpec.mapreduce_default(num_workers)
+
+    def plan(self, model: GNNModel, graph: Graph,
+             config: InferenceConfig) -> ExecutionPlan:
+        plan = plan_gas_execution(self.name, model, graph, config)
+        plan.num_supersteps = model.num_layers
+        plan.state["input_records"] = build_input_records(model, plan.working_graph)
+        return plan
+
+    def execute(self, plan: ExecutionPlan,
+                metrics: MetricsCollector) -> Dict[str, np.ndarray]:
+        return run_mapreduce_inference(plan.model, plan.graph, plan.config,
+                                       plan.strategy_plan, plan.shadow_plan, metrics,
+                                       input_records=plan.state.get("input_records"))

@@ -1,0 +1,46 @@
+"""The Pregel-like graph-processing backend as a registry plugin.
+
+Planning partitions the (possibly shadow-expanded) graph once into a
+:class:`~repro.pregel.engine.PregelEngine`; every execution reuses the cached
+partitions and only swaps in a fresh metrics collector, so repeated
+``infer()`` calls skip the hash-partitioning pass entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.resources import ClusterSpec
+from repro.gnn.model import GNNModel
+from repro.graph.graph import Graph
+from repro.inference.config import InferenceConfig
+from repro.inference.backends.base import (
+    ExecutionPlan,
+    plan_gas_execution,
+    register_backend,
+)
+from repro.inference.pregel_adaptor import build_pregel_engine, run_pregel_inference
+
+
+@register_backend("pregel")
+class PregelBackend:
+    """Memory-resident graph-processing backend (one superstep per layer)."""
+
+    def default_cluster(self, num_workers: int) -> ClusterSpec:
+        return ClusterSpec.pregel_default(num_workers)
+
+    def plan(self, model: GNNModel, graph: Graph,
+             config: InferenceConfig) -> ExecutionPlan:
+        plan = plan_gas_execution(self.name, model, graph, config)
+        plan.num_supersteps = model.num_layers + 1
+        plan.state["engine"] = build_pregel_engine(plan.working_graph, config)
+        return plan
+
+    def execute(self, plan: ExecutionPlan,
+                metrics: MetricsCollector) -> Dict[str, np.ndarray]:
+        return run_pregel_inference(plan.model, plan.graph, plan.config,
+                                    plan.strategy_plan, plan.shadow_plan, metrics,
+                                    engine=plan.state.get("engine"))

@@ -42,8 +42,10 @@ class InferenceConfig:
     Parameters
     ----------
     backend:
-        ``"pregel"`` (graph processing system) or ``"mapreduce"`` (batch
-        processing system).
+        Name of a registered inference backend — ``"pregel"`` (graph
+        processing system), ``"mapreduce"`` (batch processing system),
+        ``"khop"`` (traditional mini-batch baseline), or any name added via
+        :func:`repro.inference.backends.register_backend`.
     num_workers:
         Number of simulated instances (Pregel partitions, or MapReduce
         mappers/reducers per round).
@@ -64,14 +66,17 @@ class InferenceConfig:
     collect_embeddings: bool = False
 
     def __post_init__(self) -> None:
-        if self.backend not in ("pregel", "mapreduce"):
-            raise ValueError("backend must be 'pregel' or 'mapreduce'")
+        # Imported lazily: the backend modules themselves import this module.
+        from repro.inference.backends import get_backend
+
+        backend = get_backend(self.backend)  # raises with the registered names
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.cluster is None:
-            if self.backend == "pregel":
-                self.cluster = ClusterSpec.pregel_default(self.num_workers)
-            else:
-                self.cluster = ClusterSpec.mapreduce_default(self.num_workers)
+            self.cluster = backend.default_cluster(self.num_workers)
         elif self.cluster.num_workers != self.num_workers:
-            self.cluster = ClusterSpec(num_workers=self.num_workers, worker=self.cluster.worker)
+            raise ValueError(
+                f"cluster.num_workers ({self.cluster.num_workers}) does not match "
+                f"num_workers ({self.num_workers}); pass a ClusterSpec sized for "
+                f"{self.num_workers} workers, or omit `cluster` to use the "
+                f"backend's default flavour")

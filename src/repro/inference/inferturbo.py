@@ -1,130 +1,72 @@
-"""The InferTurbo public API.
+"""Deprecated one-shot facade over :class:`~repro.inference.session.InferenceSession`.
 
-Typical usage::
+``InferTurbo`` predates the session API: every ``run()`` re-derived the
+strategy plan, shadow rewrite and partition layout from scratch.  It is kept
+as a thin shim so existing code and notebooks keep working, but new code
+should use the session directly::
 
-    from repro.gnn import build_model, export_signature
-    from repro.inference import InferTurbo, InferenceConfig, StrategyConfig
+    # old (deprecated)
+    result = InferTurbo(signature, config).run(graph)
 
-    model = build_model("sage", feature_dim, hidden, num_classes)
-    ...train...
-    signature = export_signature(model)
+    # new
+    session = InferenceSession(signature, config)
+    session.prepare(graph)
+    result = session.infer()
 
-    engine = InferTurbo(signature, InferenceConfig(backend="pregel", num_workers=16))
-    result = engine.run(graph)
-    result.scores            # [N, num_classes] logits, identical at every run
-    result.cost.wall_clock_seconds
-    result.cost.cpu_minutes
+The shim preserves the original one-shot semantics exactly: every ``run()``
+re-plans from the graph as passed (so in-place graph mutations between runs
+are picked up, as before).  Plan reuse is what the session API adds — migrate
+to get it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+import warnings
+from typing import Optional, Union
 
-import numpy as np
-
-from repro.cluster.cost_model import CostModel, CostSummary
-from repro.cluster.metrics import MetricsCollector
 from repro.gnn.model import GNNModel
 from repro.gnn.signature import ModelSignature
 from repro.graph.graph import Graph
-from repro.graph.tables import EdgeTable, NodeTable, tables_to_graph
 from repro.inference.config import InferenceConfig
-from repro.inference.mapreduce_adaptor import run_mapreduce_inference
-from repro.inference.pregel_adaptor import run_pregel_inference
-from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
-from repro.inference.strategies import StrategyPlan, build_strategy_plan
+from repro.inference.session import InferenceResult, InferenceSession
 
-
-@dataclass
-class InferenceResult:
-    """Outcome of a full-graph inference run."""
-
-    scores: np.ndarray
-    cost: CostSummary
-    metrics: MetricsCollector
-    plan: StrategyPlan
-    embeddings: Optional[np.ndarray] = None
-    num_supersteps: int = 0
-
-    def predicted_classes(self) -> np.ndarray:
-        """Hard argmax predictions (single-label tasks)."""
-        return self.scores.argmax(axis=-1)
+__all__ = ["InferTurbo", "InferenceResult"]
 
 
 class InferTurbo:
-    """Full-graph GNN inference over a Pregel or MapReduce backend.
+    """Deprecated: use :class:`~repro.inference.session.InferenceSession`.
 
-    Parameters
-    ----------
-    model:
-        Either a live :class:`~repro.gnn.model.GNNModel` (typically fresh out
-        of the trainer) or a :class:`~repro.gnn.signature.ModelSignature`
-        previously exported/saved — the deployment artefact the paper's
-        pipeline ships to the inference cluster.
-    config:
-        Backend, worker count, cluster spec and strategy switches.
+    Kept as a thin delegate so the original one-shot API keeps working while
+    callers migrate to the plan-once / infer-many session API.
     """
 
     def __init__(self, model: Union[GNNModel, ModelSignature],
                  config: Optional[InferenceConfig] = None) -> None:
-        if isinstance(model, ModelSignature):
-            self.model = model.build_model()
-        else:
-            self.model = model
-        self.config = config or InferenceConfig()
+        warnings.warn(
+            "InferTurbo is deprecated; use InferenceSession "
+            "(prepare once, infer many) instead",
+            DeprecationWarning, stacklevel=2)
+        self._session = InferenceSession(model, config)
+
+    @property
+    def model(self) -> GNNModel:
+        return self._session.model
+
+    @property
+    def config(self) -> InferenceConfig:
+        return self._session.config
+
+    @property
+    def session(self) -> InferenceSession:
+        """The backing session (handy mid-migration)."""
+        return self._session
 
     # ------------------------------------------------------------------ #
     def run(self, graph: Union[Graph, tuple], check_memory: bool = False) -> InferenceResult:
-        """Run layer-wise full-graph inference and return scores + costs.
+        """Plan and execute one full-graph inference run.
 
-        ``graph`` may be an in-memory :class:`~repro.graph.graph.Graph` or a
-        ``(NodeTable, EdgeTable)`` pair straight from the data warehouse.
-        ``check_memory=True`` makes the cost model raise
-        :class:`~repro.cluster.resources.OutOfMemoryError` if any simulated
-        instance exceeds its memory budget.
+        Re-plans on every call — the original one-shot contract — so callers
+        that mutate the graph in place between runs keep seeing fresh results.
         """
-        if isinstance(graph, tuple):
-            node_table, edge_table = graph
-            if not isinstance(node_table, NodeTable) or not isinstance(edge_table, EdgeTable):
-                raise TypeError("expected a (NodeTable, EdgeTable) pair")
-            graph = tables_to_graph(node_table, edge_table)
-
-        has_edge_features = graph.edge_features is not None
-        plan = build_strategy_plan(self.model, graph, self.config.num_workers,
-                                   self.config.strategies, has_edge_features)
-
-        shadow_plan: Optional[ShadowNodePlan] = None
-        if self.config.strategies.shadow_nodes:
-            shadow_plan = apply_shadow_nodes(graph, plan.threshold, self.config.num_workers)
-            if shadow_plan.mirror_origin:
-                # Mirrors of out-degree hubs inherit hub treatment (SN+BC combo).
-                mirror_ids = np.fromiter(shadow_plan.mirror_origin.keys(), dtype=np.int64,
-                                         count=len(shadow_plan.mirror_origin))
-                hub_mirrors = np.asarray(
-                    [mid for mid in mirror_ids
-                     if int(shadow_plan.mirror_origin[int(mid)]) in plan.hub_set],
-                    dtype=np.int64)
-                plan.out_degree_hubs = np.concatenate([plan.out_degree_hubs, hub_mirrors])
-
-        metrics = MetricsCollector()
-        if self.config.backend == "pregel":
-            outputs = run_pregel_inference(self.model, graph, self.config, plan,
-                                           shadow_plan, metrics)
-            num_supersteps = self.model.num_layers + 1
-        else:
-            outputs = run_mapreduce_inference(self.model, graph, self.config, plan,
-                                              shadow_plan, metrics)
-            num_supersteps = self.model.num_layers
-
-        cost_model = CostModel(self.config.cluster)
-        cost = cost_model.summarize(metrics, check_memory=check_memory)
-
-        return InferenceResult(
-            scores=outputs["scores"],
-            embeddings=outputs.get("embeddings"),
-            cost=cost,
-            metrics=metrics,
-            plan=plan,
-            num_supersteps=num_supersteps,
-        )
+        self._session.prepare(graph)
+        return self._session.infer(check_memory=check_memory)

@@ -298,9 +298,31 @@ def _combine_messages(model: GNNModel, plan: StrategyPlan, layer_index: int,
     return passthrough
 
 
+def build_input_records(model: GNNModel, working_graph: Graph) -> List[Record]:
+    """Ingest the (possibly shadow-expanded) node table into input records.
+
+    This per-node scan is the expensive part of MapReduce preparation; a
+    session builds the records once at ``prepare()`` time and replays them on
+    every execution.  The rounds never mutate record arrays in place, so the
+    cached records can be reused safely.
+    """
+    input_records: List[Record] = []
+    for node_id in range(working_graph.num_nodes):
+        neighbors = working_graph.out_neighbors(node_id).copy()
+        edge_feats = None
+        if working_graph.edge_features is not None:
+            edge_feats = working_graph.edge_features[working_graph.out_edge_ids(node_id)]
+        features = (working_graph.node_features[node_id]
+                    if working_graph.node_features is not None
+                    else np.zeros(model.encoder.in_features))
+        input_records.append((node_id, (features, neighbors, edge_feats)))
+    return input_records
+
+
 def run_mapreduce_inference(model: GNNModel, graph: Graph, config: InferenceConfig,
                             plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
-                            metrics: MetricsCollector) -> Dict[str, np.ndarray]:
+                            metrics: MetricsCollector,
+                            input_records: Optional[List[Record]] = None) -> Dict[str, np.ndarray]:
     """Execute full-graph inference on the MapReduce backend."""
     working_graph = shadow_plan.graph if shadow_plan is not None else graph
     original_num_nodes = shadow_plan.original_num_nodes if shadow_plan is not None else graph.num_nodes
@@ -313,17 +335,8 @@ def run_mapreduce_inference(model: GNNModel, graph: Graph, config: InferenceConf
     )
     model.eval()
 
-    # Input records from the (possibly shadow-expanded) node table.
-    input_records: List[Record] = []
-    for node_id in range(working_graph.num_nodes):
-        neighbors = working_graph.out_neighbors(node_id).copy()
-        edge_feats = None
-        if working_graph.edge_features is not None:
-            edge_feats = working_graph.edge_features[working_graph.out_edge_ids(node_id)]
-        features = (working_graph.node_features[node_id]
-                    if working_graph.node_features is not None
-                    else np.zeros(model.encoder.in_features))
-        input_records.append((node_id, (features, neighbors, edge_feats)))
+    if input_records is None:
+        input_records = build_input_records(model, working_graph)
 
     records: List[Record] = input_records
     for layer_index in range(model.num_layers):

@@ -60,8 +60,14 @@ class GNNInferenceProgram(BlockVertexProgram):
         return self.plan.layer(superstep).combiner
 
     def setup_partition(self, partition: PregelPartition) -> None:
-        """Precompute local indices for the partition's out-edges."""
-        partition.block_state["out_src_local"] = partition.local_indices(partition.out_src)
+        """Reset per-run state; reuse the layout-derived out-edge index.
+
+        ``out_src_local`` depends only on the partition layout, so an engine
+        prepared once (see :func:`build_pregel_engine`) keeps it across runs;
+        a fresh engine computes it here on first use.
+        """
+        if "out_src_local" not in partition.block_state:
+            partition.block_state["out_src_local"] = partition.local_indices(partition.out_src)
         partition.block_state["h"] = None
         partition.block_state["output"] = None
 
@@ -182,19 +188,42 @@ class GNNInferenceProgram(BlockVertexProgram):
         context.observe_memory(resident)
 
 
+def build_pregel_engine(working_graph: Graph, config: InferenceConfig,
+                        metrics: Optional[MetricsCollector] = None) -> PregelEngine:
+    """Partition the (possibly shadow-expanded) graph into a reusable engine.
+
+    Partitioning is the expensive part of Pregel preparation; a session builds
+    the engine once at ``prepare()`` time and swaps in a fresh metrics
+    collector per execution.  The layout-derived local index of every
+    partition's out-edge sources is precomputed here too, so executions reuse
+    it instead of rebuilding it per run.
+    """
+    engine = PregelEngine(working_graph, num_workers=config.num_workers, metrics=metrics)
+    for partition in engine.partitions:
+        partition.block_state["out_src_local"] = partition.local_indices(partition.out_src)
+    return engine
+
+
 def run_pregel_inference(model: GNNModel, graph: Graph, config: InferenceConfig,
                          plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
-                         metrics: MetricsCollector) -> Dict[str, np.ndarray]:
+                         metrics: MetricsCollector,
+                         engine: Optional[PregelEngine] = None) -> Dict[str, np.ndarray]:
     """Execute full-graph inference on the Pregel backend.
 
     Returns a dict with ``scores`` [N, C] (original nodes only) and, when
     requested, ``embeddings`` (the last layer's state before the head).
+    ``engine`` may carry a pre-partitioned engine from a previous ``plan``
+    step; the program's ``setup_partition`` resets all per-run block state, so
+    reuse is safe and repeated runs stay bit-identical.
     """
     working_graph = shadow_plan.graph if shadow_plan is not None else graph
     original_num_nodes = shadow_plan.original_num_nodes if shadow_plan is not None else graph.num_nodes
 
     program = GNNInferenceProgram(model, plan, shadow_plan)
-    engine = PregelEngine(working_graph, num_workers=config.num_workers, metrics=metrics)
+    if engine is None:
+        engine = build_pregel_engine(working_graph, config, metrics)
+    else:
+        engine.metrics = metrics
     model.eval()
     result = engine.run(program)
 

@@ -1,0 +1,225 @@
+"""Serving-oriented inference sessions: plan once, infer many.
+
+:class:`InferenceSession` splits the old monolithic ``InferTurbo.run()`` into
+
+* :meth:`~InferenceSession.prepare` — table ingest, strategy planning, the
+  shadow-node graph rewrite and the backend's partition/ingest work, computed
+  once and cached as an :class:`~repro.inference.backends.ExecutionPlan`;
+* :meth:`~InferenceSession.infer` / :meth:`~InferenceSession.infer_many` —
+  repeatable executions that reuse the cached plan, each returning a full
+  :class:`InferenceResult`;
+* :meth:`~InferenceSession.report` — a structured :class:`RunReport`
+  aggregating scores, costs and the plan description across the session.
+
+Every strategy is lossless, so every ``infer()`` on a session is bit-identical
+to a fresh one-shot run — the session only removes the repeated planning work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.cluster.cost_model import CostModel, CostSummary
+from repro.cluster.metrics import MetricsCollector
+from repro.gnn.model import GNNModel
+from repro.gnn.signature import ModelSignature
+from repro.graph.graph import Graph
+from repro.graph.tables import EdgeTable, NodeTable, tables_to_graph
+from repro.inference.backends import Backend, ExecutionPlan, get_backend
+from repro.inference.config import InferenceConfig
+from repro.inference.strategies import StrategyPlan
+
+GraphLike = Union[Graph, tuple]
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of one full-graph inference execution."""
+
+    scores: np.ndarray
+    cost: CostSummary
+    metrics: MetricsCollector
+    plan: StrategyPlan
+    embeddings: Optional[np.ndarray] = None
+    num_supersteps: int = 0
+
+    def predicted_classes(self) -> np.ndarray:
+        """Hard argmax predictions (single-label tasks)."""
+        return self.scores.argmax(axis=-1)
+
+
+@dataclass
+class RunReport:
+    """Structured summary of everything a session has executed so far."""
+
+    backend: str
+    plan_description: str
+    num_runs: int
+    num_supersteps: int
+    scores: Optional[np.ndarray]
+    cost: Optional[CostSummary]
+    metrics: Optional[MetricsCollector]
+    total_wall_clock_seconds: float
+    total_cpu_minutes: float
+    total_bytes: float
+
+    def describe(self) -> str:
+        return (f"{self.backend}: {self.num_runs} run(s), "
+                f"{self.total_wall_clock_seconds:.3f}s simulated wall-clock total, "
+                f"{self.total_cpu_minutes:.4f} cpu*min, "
+                f"{self.total_bytes / 1e6:.1f} MB moved  [{self.plan_description}]")
+
+
+class InferenceSession:
+    """A reusable inference context bound to one model and one backend.
+
+    Parameters
+    ----------
+    model:
+        Either a live :class:`~repro.gnn.model.GNNModel` or a
+        :class:`~repro.gnn.signature.ModelSignature` previously exported —
+        the deployment artefact the paper's pipeline ships to the cluster.
+    config:
+        Backend name, worker count, cluster spec and strategy switches; the
+        backend is resolved through the plugin registry, so any registered
+        name works.
+
+    Typical serving flow::
+
+        session = InferenceSession(signature, InferenceConfig(backend="pregel"))
+        session.prepare(graph)            # plan once (ingest, strategies, layout)
+        result = session.infer()          # run many times against the cached plan
+        nightly = session.infer_many(7)
+        print(session.report().describe())
+    """
+
+    def __init__(self, model: Union[GNNModel, ModelSignature],
+                 config: Optional[InferenceConfig] = None) -> None:
+        if isinstance(model, ModelSignature):
+            self.model = model.build_model()
+        else:
+            self.model = model
+        self.config = config or InferenceConfig()
+        self.backend: Backend = get_backend(self.config.backend)
+        self._plan: Optional[ExecutionPlan] = None
+        self._source: Optional[GraphLike] = None
+        # Only the latest result plus running totals are retained, so a
+        # long-lived serving session does not accumulate score matrices.
+        self._last_result: Optional[InferenceResult] = None
+        self._num_runs = 0
+        self._total_wall_clock_seconds = 0.0
+        self._total_cpu_minutes = 0.0
+        self._total_bytes = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def plan(self) -> Optional[ExecutionPlan]:
+        """The cached execution plan (None until :meth:`prepare` runs)."""
+        return self._plan
+
+    @property
+    def is_prepared(self) -> bool:
+        return self._plan is not None
+
+    @property
+    def num_runs(self) -> int:
+        return self._num_runs
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ingest(graph: GraphLike) -> Graph:
+        """Accept an in-memory graph or a (NodeTable, EdgeTable) pair."""
+        if isinstance(graph, tuple):
+            node_table, edge_table = graph
+            if not isinstance(node_table, NodeTable) or not isinstance(edge_table, EdgeTable):
+                raise TypeError("expected a (NodeTable, EdgeTable) pair")
+            graph = tables_to_graph(node_table, edge_table)
+        return graph
+
+    def prepare(self, graph: GraphLike) -> ExecutionPlan:
+        """Build and cache the execution plan for ``graph``.
+
+        Runs table ingest, strategy planning, the shadow-node rewrite and the
+        backend's own preparation (Pregel partitioning / MapReduce record
+        ingest / k-hop pipeline setup).  Subsequent :meth:`infer` calls reuse
+        the returned plan until :meth:`prepare` is called again.
+        """
+        self._plan = self.backend.plan(self.model, self._ingest(graph), self.config)
+        self._source = graph
+        return self._plan
+
+    def _is_prepared_for(self, graph: GraphLike) -> bool:
+        """True when the cached plan covers ``graph``.
+
+        Matches either the object originally passed to :meth:`prepare` (so a
+        (NodeTable, EdgeTable) pair is not re-ingested on every call) or the
+        ingested graph the plan was built over.
+        """
+        return self._plan is not None and (graph is self._source
+                                           or graph is self._plan.graph)
+
+    def infer(self, graph: Optional[GraphLike] = None,
+              check_memory: bool = False) -> InferenceResult:
+        """Execute one inference run against the cached plan.
+
+        ``graph`` is only needed on the first call (or to re-target the
+        session): passing the graph the session is already prepared for reuses
+        the cached plan; passing a different graph re-plans.  The plan
+        snapshots the graph at :meth:`prepare` time — after mutating a graph
+        in place (e.g. refreshing node features), call :meth:`prepare` again
+        to pick up the changes.
+        ``check_memory=True`` makes the cost model raise
+        :class:`~repro.cluster.resources.OutOfMemoryError` if any simulated
+        instance exceeds its memory budget.
+        """
+        if graph is not None and not self._is_prepared_for(graph):
+            self.prepare(graph)
+        if self._plan is None:
+            raise RuntimeError(
+                "session is not prepared; call prepare(graph) first "
+                "(or pass a graph to infer())")
+
+        plan = self._plan
+        metrics = MetricsCollector()
+        outputs = self.backend.execute(plan, metrics)
+        cost = CostModel(self.config.cluster).summarize(metrics, check_memory=check_memory)
+        result = InferenceResult(
+            scores=outputs["scores"],
+            embeddings=outputs.get("embeddings"),
+            cost=cost,
+            metrics=metrics,
+            plan=plan.strategy_plan,
+            num_supersteps=plan.num_supersteps,
+        )
+        self._last_result = result
+        self._num_runs += 1
+        self._total_wall_clock_seconds += cost.wall_clock_seconds
+        self._total_cpu_minutes += cost.cpu_minutes
+        self._total_bytes += cost.total_bytes
+        return result
+
+    def infer_many(self, n: int, check_memory: bool = False) -> List[InferenceResult]:
+        """Run ``n`` repeated executions against the cached plan."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return [self.infer(check_memory=check_memory) for _ in range(int(n))]
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> RunReport:
+        """Aggregate what the session has done into a structured report."""
+        last = self._last_result
+        return RunReport(
+            backend=self.backend.name,
+            plan_description=self._plan.describe() if self._plan is not None else "<unprepared>",
+            num_runs=self._num_runs,
+            num_supersteps=last.num_supersteps if last is not None else 0,
+            scores=last.scores if last is not None else None,
+            cost=last.cost if last is not None else None,
+            metrics=last.metrics if last is not None else None,
+            total_wall_clock_seconds=self._total_wall_clock_seconds,
+            total_cpu_minutes=self._total_cpu_minutes,
+            total_bytes=self._total_bytes,
+        )

@@ -206,12 +206,21 @@ class TestConfigValidation:
         mapreduce_config = InferenceConfig(backend="mapreduce", num_workers=4)
         assert pregel_config.cluster.worker.memory_bytes > mapreduce_config.cluster.worker.memory_bytes
 
-    def test_cluster_worker_count_reconciled(self):
+    def test_cluster_worker_count_mismatch_rejected(self):
+        """A user-supplied ClusterSpec is never silently rebuilt — mismatches raise."""
         from repro.cluster.resources import ClusterSpec, WorkerSpec
 
+        with pytest.raises(ValueError, match="does not match"):
+            InferenceConfig(num_workers=6,
+                            cluster=ClusterSpec(num_workers=2, worker=WorkerSpec()))
+
+    def test_matching_user_cluster_kept(self):
+        from repro.cluster.resources import ClusterSpec, WorkerSpec
+
+        worker = WorkerSpec(cpu_cores=4)
         config = InferenceConfig(num_workers=6,
-                                 cluster=ClusterSpec(num_workers=2, worker=WorkerSpec()))
-        assert config.cluster.num_workers == 6
+                                 cluster=ClusterSpec(num_workers=6, worker=worker))
+        assert config.cluster.worker is worker
 
     def test_strategy_describe(self):
         assert StrategyConfig(partial_gather=False).describe() == "base"

@@ -1,0 +1,227 @@
+"""InferenceSession: plan-once/infer-many semantics, bit-identical parity with
+the deprecated InferTurbo shim, structured reports, and the hub-mirror merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.model import build_model
+from repro.gnn.signature import export_signature
+from repro.graph.generators import labeled_community_graph, powerlaw_graph
+from repro.graph.tables import graph_to_tables
+from repro.inference import (
+    InferenceConfig,
+    InferenceSession,
+    InferTurbo,
+    StrategyConfig,
+)
+from repro.inference.backends import merge_hub_mirrors, plan_gas_execution
+from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
+from repro.inference.strategies import build_strategy_plan
+
+
+@pytest.fixture(scope="module")
+def community():
+    return labeled_community_graph(num_nodes=150, num_classes=4, feature_dim=10,
+                                   avg_degree=6.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return powerlaw_graph(num_nodes=350, avg_degree=6.0, skew="out", feature_dim=8,
+                          num_classes=3, seed=9)
+
+
+ALL_ON = StrategyConfig(partial_gather=True, broadcast=True, shadow_nodes=True,
+                        hub_threshold_override=15)
+
+
+class _CountingBackend:
+    """Delegating spy that counts plan/execute calls on one session."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.plan_calls = 0
+        self.execute_calls = 0
+
+    def default_cluster(self, num_workers):
+        return self._inner.default_cluster(num_workers)
+
+    def plan(self, model, graph, config):
+        self.plan_calls += 1
+        return self._inner.plan(model, graph, config)
+
+    def execute(self, plan, metrics):
+        self.execute_calls += 1
+        return self._inner.execute(plan, metrics)
+
+
+class TestSessionLifecycle:
+    def test_infer_before_prepare_raises(self, community):
+        model = build_model("sage", community.feature_dim, 8, 4, seed=0)
+        session = InferenceSession(model, InferenceConfig(backend="pregel", num_workers=2))
+        with pytest.raises(RuntimeError, match="prepare"):
+            session.infer()
+
+    def test_prepare_returns_cached_plan(self, community):
+        model = build_model("sage", community.feature_dim, 8, 4, seed=0)
+        session = InferenceSession(model, InferenceConfig(backend="pregel", num_workers=2))
+        assert not session.is_prepared
+        plan = session.prepare(community)
+        assert session.is_prepared and session.plan is plan
+        assert "pregel" in plan.describe()
+
+    @pytest.mark.parametrize("backend", ["pregel", "mapreduce"])
+    def test_second_infer_skips_planning(self, community, backend):
+        model = build_model("sage", community.feature_dim, 8, 4, seed=1)
+        session = InferenceSession(model, InferenceConfig(backend=backend, num_workers=3))
+        spy = _CountingBackend(session.backend)
+        session.backend = spy
+
+        plan = session.prepare(community)
+        first = session.infer()
+        second = session.infer(community)     # same graph object: no re-plan
+        third = session.infer()
+        assert spy.plan_calls == 1
+        assert spy.execute_calls == 3
+        assert session.plan is plan
+        np.testing.assert_array_equal(first.scores, second.scores)
+        np.testing.assert_array_equal(first.scores, third.scores)
+
+    def test_new_graph_triggers_replan(self, community):
+        other = labeled_community_graph(num_nodes=90, num_classes=4,
+                                        feature_dim=community.feature_dim,
+                                        avg_degree=5.0, seed=21)
+        model = build_model("sage", community.feature_dim, 8, 4, seed=1)
+        session = InferenceSession(model, InferenceConfig(backend="pregel", num_workers=2))
+        spy = _CountingBackend(session.backend)
+        session.backend = spy
+        session.infer(community)
+        session.infer(other)
+        assert spy.plan_calls == 2
+
+    def test_infer_many(self, community):
+        model = build_model("gcn", community.feature_dim, 8, 4, seed=2)
+        session = InferenceSession(model, InferenceConfig(backend="pregel", num_workers=2))
+        session.prepare(community)
+        results = session.infer_many(3)
+        assert len(results) == 3 and session.num_runs == 3
+        for result in results[1:]:
+            np.testing.assert_array_equal(results[0].scores, result.scores)
+        with pytest.raises(ValueError):
+            session.infer_many(0)
+
+    def test_session_from_signature_and_tables(self, community):
+        model = build_model("sage", community.feature_dim, 8, 4, seed=3)
+        from_model = InferenceSession(model, InferenceConfig(num_workers=3)).infer(community)
+        signature_session = InferenceSession(export_signature(model),
+                                             InferenceConfig(num_workers=3))
+        from_signature = signature_session.infer(graph_to_tables(community))
+        np.testing.assert_allclose(from_model.scores, from_signature.scores, atol=1e-12)
+
+    def test_table_pair_does_not_replan_per_infer(self, community):
+        """A (NodeTable, EdgeTable) source is ingested once, not per call."""
+        model = build_model("sage", community.feature_dim, 8, 4, seed=1)
+        session = InferenceSession(model, InferenceConfig(backend="pregel", num_workers=2))
+        spy = _CountingBackend(session.backend)
+        session.backend = spy
+        tables = graph_to_tables(community)
+        session.prepare(tables)
+        first = session.infer(tables)
+        second = session.infer(tables)
+        assert spy.plan_calls == 1
+        np.testing.assert_array_equal(first.scores, second.scores)
+
+    def test_bad_table_pair_rejected(self, community):
+        model = build_model("sage", community.feature_dim, 8, 4, seed=0)
+        session = InferenceSession(model, InferenceConfig(num_workers=2))
+        with pytest.raises(TypeError):
+            session.prepare(("not", "tables"))
+
+
+class TestReport:
+    def test_report_aggregates_runs(self, community):
+        model = build_model("sage", community.feature_dim, 8, 4, seed=4)
+        session = InferenceSession(model, InferenceConfig(backend="pregel", num_workers=2))
+        empty = session.report()
+        assert empty.num_runs == 0 and empty.scores is None
+        assert empty.plan_description == "<unprepared>"
+
+        session.prepare(community)
+        results = session.infer_many(2)
+        report = session.report()
+        assert report.backend == "pregel"
+        assert report.num_runs == 2
+        assert report.scores is results[-1].scores
+        assert report.total_wall_clock_seconds == pytest.approx(
+            sum(r.cost.wall_clock_seconds for r in results))
+        assert report.total_cpu_minutes == pytest.approx(
+            sum(r.cost.cpu_minutes for r in results))
+        assert "pregel" in report.describe()
+
+
+class TestShimParity:
+    @pytest.mark.parametrize("backend", ["pregel", "mapreduce"])
+    def test_session_bit_identical_to_inferturbo(self, skewed, backend):
+        model = build_model("sage", skewed.feature_dim, 16, 3, num_layers=2, seed=2)
+        config = dict(backend=backend, num_workers=4, strategies=ALL_ON)
+        session = InferenceSession(model, InferenceConfig(**config))
+        via_session = session.infer(skewed)
+        with pytest.deprecated_call():
+            shim = InferTurbo(model, InferenceConfig(**config))
+        via_shim = shim.run(skewed)
+        np.testing.assert_array_equal(via_session.scores, via_shim.scores)
+
+    def test_shim_exposes_model_and_config(self, community):
+        model = build_model("sage", community.feature_dim, 8, 4, seed=0)
+        config = InferenceConfig(num_workers=2)
+        with pytest.deprecated_call():
+            shim = InferTurbo(model, config)
+        assert shim.model is model
+        assert shim.config is config
+        assert isinstance(shim.session, InferenceSession)
+
+
+class TestHubMirrorMerge:
+    def _plan_for(self, graph, model, num_workers=4, threshold=15):
+        return build_strategy_plan(
+            model, graph, num_workers,
+            StrategyConfig(shadow_nodes=True, broadcast=True,
+                           hub_threshold_override=threshold),
+            graph.edge_features is not None)
+
+    def test_merge_dedupes_and_sorts(self, skewed):
+        model = build_model("sage", skewed.feature_dim, 8, 3, seed=0)
+        plan = self._plan_for(skewed, model)
+        shadow = apply_shadow_nodes(skewed, plan.threshold, 4)
+        assert shadow.mirror_origin, "fixture should produce mirrors"
+        merge_hub_mirrors(plan, shadow)
+        hubs = plan.out_degree_hubs
+        assert hubs.dtype == np.int64
+        assert np.array_equal(hubs, np.unique(hubs))  # sorted + deduplicated
+
+    def test_merge_with_empty_hub_array_stays_int64(self, skewed):
+        model = build_model("sage", skewed.feature_dim, 8, 3, seed=0)
+        plan = self._plan_for(skewed, model)
+        plan.out_degree_hubs = np.empty(0, dtype=np.float64)  # worst case dtype
+        shadow = ShadowNodePlan(graph=skewed, original_num_nodes=skewed.num_nodes)
+        merge_hub_mirrors(plan, shadow)
+        assert plan.out_degree_hubs.dtype == np.int64
+        assert plan.out_degree_hubs.size == 0
+        merge_hub_mirrors(plan, None)
+        assert plan.out_degree_hubs.dtype == np.int64
+
+    def test_gas_planning_produces_sorted_hubs(self, skewed):
+        model = build_model("sage", skewed.feature_dim, 8, 3, seed=0)
+        config = InferenceConfig(backend="pregel", num_workers=4, strategies=ALL_ON)
+        plan = plan_gas_execution("pregel", model, skewed, config)
+        hubs = plan.strategy_plan.out_degree_hubs
+        assert hubs.dtype == np.int64
+        assert np.array_equal(hubs, np.unique(hubs))
+        # Mirrors of hubs are included in the hub set.
+        assert plan.shadow_plan is not None
+        mirrors_of_hubs = [mid for mid, origin in plan.shadow_plan.mirror_origin.items()]
+        if mirrors_of_hubs:
+            assert np.isin(np.asarray(mirrors_of_hubs, dtype=np.int64), hubs).any()
