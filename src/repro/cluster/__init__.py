@@ -13,12 +13,14 @@ what factor, where the OOM cliff is) is what the experiments reproduce.
 """
 
 from repro.cluster.resources import WorkerSpec, ClusterSpec, OutOfMemoryError
+from repro.cluster.layout import ClusterLayout
 from repro.cluster.metrics import InstanceMetrics, MetricsCollector
 from repro.cluster.cost_model import CostModel, CostSummary
 
 __all__ = [
     "WorkerSpec",
     "ClusterSpec",
+    "ClusterLayout",
     "OutOfMemoryError",
     "InstanceMetrics",
     "MetricsCollector",

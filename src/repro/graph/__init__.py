@@ -16,7 +16,12 @@ This package owns the representation of the input graph at three granularities:
 
 from repro.graph.graph import Graph
 from repro.graph.tables import NodeTable, EdgeTable, graph_to_tables, tables_to_graph
-from repro.graph.partition import HashPartitioner, Partition, partition_graph
+from repro.graph.partition import (
+    HashPartitioner,
+    Partition,
+    partition_graph,
+    partition_graph_with_layout,
+)
 from repro.graph.khop import khop_neighborhood, KHopSubgraph
 from repro.graph.sampling import UniformNeighborSampler, FullNeighborSampler
 from repro.graph import generators
@@ -31,6 +36,7 @@ __all__ = [
     "HashPartitioner",
     "Partition",
     "partition_graph",
+    "partition_graph_with_layout",
     "khop_neighborhood",
     "KHopSubgraph",
     "UniformNeighborSampler",

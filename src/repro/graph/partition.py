@@ -9,10 +9,11 @@ out-edge state, so that one superstep per GNN layer suffices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.layout import ClusterLayout, stable_group_by
 from repro.graph.graph import Graph
 
 
@@ -41,8 +42,20 @@ class HashPartitioner:
         """Vectorised assignment for an array of node ids."""
         node_ids = np.asarray(node_ids, dtype=np.int64)
         if self._hash_fn is not None:
-            return np.array([self.assign(n) for n in node_ids], dtype=np.int64)
+            # The hash itself is an arbitrary Python callable, so it runs once
+            # per id — but through a single fromiter pass (no per-id method
+            # dispatch).  The modulo must fold inside the pass: hash values
+            # may exceed int64 (e.g. md5-based placements).
+            num_partitions = self.num_partitions
+            hash_fn = self._hash_fn
+            return np.fromiter((int(hash_fn(n)) % num_partitions
+                                for n in node_ids.tolist()),
+                               dtype=np.int64, count=node_ids.size)
         return node_ids % self.num_partitions
+
+    def build_layout(self, num_nodes: int) -> ClusterLayout:
+        """Precompute the dense routing tables for ``num_nodes`` global ids."""
+        return ClusterLayout.build(num_nodes, self)
 
 
 @dataclass
@@ -66,14 +79,49 @@ class Partition:
         return int(self.out_src.size)
 
 
-def partition_graph(graph: Graph, partitioner: HashPartitioner) -> List[Partition]:
-    """Split ``graph`` into per-worker partitions (nodes + their out-edges)."""
-    assignments = partitioner.assign_many(np.arange(graph.num_nodes, dtype=np.int64))
-    edge_owner = assignments[graph.src]
+def partition_graph(graph: Graph, partitioner: HashPartitioner,
+                    layout: Optional[ClusterLayout] = None) -> List[Partition]:
+    """Split ``graph`` into per-worker partitions (nodes + their out-edges).
+
+    A precomputed :class:`~repro.cluster.layout.ClusterLayout` may be supplied
+    to skip the assignment pass (a session caches one per prepared plan); it
+    must cover exactly this graph under exactly this partitioner.
+    """
+    partitions, _ = partition_graph_with_layout(graph, partitioner, layout)
+    return partitions
+
+
+def partition_graph_with_layout(
+        graph: Graph, partitioner: HashPartitioner,
+        layout: Optional[ClusterLayout] = None) -> Tuple[List[Partition], ClusterLayout]:
+    """Like :func:`partition_graph`, but also return the routing layout.
+
+    The layout's dense owner/local tables are what the execution engines use
+    to translate message destinations in bulk; computing them here (one
+    assignment pass + one stable argsort) replaces the per-partition
+    ``nonzero`` scans the old implementation performed.
+    """
+    if layout is None:
+        layout = ClusterLayout.build(graph.num_nodes, partitioner)
+    elif (layout.num_nodes != graph.num_nodes
+          or layout.num_partitions != partitioner.num_partitions):
+        raise ValueError(
+            f"layout covers {layout.num_nodes} nodes / {layout.num_partitions} "
+            f"partitions but the graph has {graph.num_nodes} nodes and the "
+            f"partitioner {partitioner.num_partitions} partitions")
+
+    # Group owned out-edges per partition in one argsort pass; within each
+    # partition edge ids stay ascending (stable sort), matching the old
+    # per-partition nonzero scans bit for bit.
+    edge_owner = layout.owners(graph.src)
+    edge_order, edge_counts, edge_starts = stable_group_by(
+        edge_owner, partitioner.num_partitions)
+
     partitions: List[Partition] = []
     for pid in range(partitioner.num_partitions):
-        node_ids = np.nonzero(assignments == pid)[0]
-        edge_ids = np.nonzero(edge_owner == pid)[0]
+        node_ids = layout.nodes_of(pid)
+        start = int(edge_starts[pid])
+        edge_ids = edge_order[start:start + int(edge_counts[pid])]
         partitions.append(Partition(
             partition_id=pid,
             node_ids=node_ids,
@@ -83,7 +131,7 @@ def partition_graph(graph: Graph, partitioner: HashPartitioner) -> List[Partitio
             node_features=None if graph.node_features is None else graph.node_features[node_ids],
             labels=None if graph.labels is None else graph.labels[node_ids],
         ))
-    return partitions
+    return partitions, layout
 
 
 def partition_balance(partitions: List[Partition]) -> Dict[str, float]:

@@ -24,10 +24,12 @@ from typing import Any, Dict, Optional, Protocol, Set, Type, runtime_checkable
 
 import numpy as np
 
+from repro.cluster.layout import ClusterLayout
 from repro.cluster.metrics import MetricsCollector
 from repro.cluster.resources import ClusterSpec
 from repro.gnn.model import GNNModel
 from repro.graph.graph import Graph
+from repro.graph.partition import HashPartitioner
 from repro.inference.config import InferenceConfig
 from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
 from repro.inference.strategies import StrategyPlan, build_strategy_plan
@@ -50,6 +52,9 @@ class ExecutionPlan:
     config: InferenceConfig
     strategy_plan: StrategyPlan
     shadow_plan: Optional[ShadowNodePlan] = None
+    #: dense global→owner / global→local routing tables over the working
+    #: graph, computed once at plan time and reused by every execution.
+    layout: Optional[ClusterLayout] = None
     num_supersteps: int = 0
     #: backend-private precomputed artefacts (engines, records, pipelines).
     state: Dict[str, Any] = field(default_factory=dict)
@@ -176,7 +181,10 @@ def plan_gas_execution(backend_name: str, model: GNNModel, graph: Graph,
     """The planning steps shared by every full-graph (GAS) backend.
 
     Resolves the per-layer strategy plan, applies the shadow-node graph
-    rewrite when enabled, and merges hub mirrors into the hub set.
+    rewrite when enabled, merges hub mirrors into the hub set, and builds the
+    :class:`~repro.cluster.layout.ClusterLayout` routing tables over the
+    working (possibly shadow-expanded) graph — once, so repeated
+    ``infer_many()`` executions never recompute them.
     """
     has_edge_features = graph.edge_features is not None
     strategy_plan = build_strategy_plan(model, graph, config.num_workers,
@@ -186,6 +194,9 @@ def plan_gas_execution(backend_name: str, model: GNNModel, graph: Graph,
         shadow_plan = apply_shadow_nodes(graph, strategy_plan.threshold,
                                          config.num_workers)
         merge_hub_mirrors(strategy_plan, shadow_plan)
+    working_graph = shadow_plan.graph if shadow_plan is not None else graph
+    layout = ClusterLayout.build(working_graph.num_nodes,
+                                 HashPartitioner(config.num_workers))
     return ExecutionPlan(
         backend=backend_name,
         model=model,
@@ -193,4 +204,5 @@ def plan_gas_execution(backend_name: str, model: GNNModel, graph: Graph,
         config=config,
         strategy_plan=strategy_plan,
         shadow_plan=shadow_plan,
+        layout=layout,
     )

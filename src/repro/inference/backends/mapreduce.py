@@ -42,4 +42,5 @@ class MapReduceBackend:
                 metrics: MetricsCollector) -> Dict[str, np.ndarray]:
         return run_mapreduce_inference(plan.model, plan.graph, plan.config,
                                        plan.strategy_plan, plan.shadow_plan, metrics,
-                                       input_records=plan.state.get("input_records"))
+                                       input_records=plan.state.get("input_records"),
+                                       layout=plan.layout)

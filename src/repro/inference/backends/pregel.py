@@ -36,7 +36,8 @@ class PregelBackend:
              config: InferenceConfig) -> ExecutionPlan:
         plan = plan_gas_execution(self.name, model, graph, config)
         plan.num_supersteps = model.num_layers + 1
-        plan.state["engine"] = build_pregel_engine(plan.working_graph, config)
+        plan.state["engine"] = build_pregel_engine(plan.working_graph, config,
+                                                   layout=plan.layout)
         return plan
 
     def execute(self, plan: ExecutionPlan,

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.batch.mapreduce import MapReduceEngine, MapReduceJob, TaskContext
 from repro.cluster.cost_model import gnn_layer_compute_units
+from repro.cluster.layout import ClusterLayout
 from repro.cluster.metrics import MetricsCollector, tensor_bytes
 from repro.gnn.model import GNNModel
 from repro.graph.graph import Graph
@@ -56,12 +57,22 @@ def _partition_fn(key: Any, num_reducers: int) -> int:
 
 
 class _ScatterMixin:
-    """Shared message-emission logic for the init map and the reduce rounds."""
+    """Shared message-emission logic for the init map and the reduce rounds.
+
+    The scatter is columnar: all of a batch's out-edge messages are computed
+    with **one** ``apply_edge`` call over the concatenated edge rows, shadow
+    destinations expand through the plan's CSR replica arrays
+    (:meth:`~repro.inference.shadow.ShadowNodePlan.expand_rows`), and broadcast
+    buckets resolve through the cached
+    :class:`~repro.cluster.layout.ClusterLayout` — the only Python iteration
+    left is building the output record tuples the engine shuffles.
+    """
 
     model: GNNModel
     plan: StrategyPlan
     shadow_plan: Optional[ShadowNodePlan]
     num_reducers: int
+    layout: Optional[ClusterLayout]
 
     def _emit_messages(self, layer_index: int, node_ids: np.ndarray, state: np.ndarray,
                        out_nbrs: List[np.ndarray], out_edge_feats: List[Optional[np.ndarray]],
@@ -69,46 +80,69 @@ class _ScatterMixin:
         """Build layer ``layer_index`` messages for the given nodes' out-edges."""
         layer = self.model.layers[layer_index]
         strategy = self.plan.layer(layer_index)
-        outputs: List[Record] = []
-        hub_set = self.plan.hub_set if strategy.broadcast else set()
-
-        total_edges = int(sum(len(nbrs) for nbrs in out_nbrs))
+        num_nodes = len(out_nbrs)
+        sizes = np.fromiter((nbrs.size for nbrs in out_nbrs), dtype=np.int64,
+                            count=num_nodes)
+        total_edges = int(sizes.sum())
         context.add_compute(total_edges * layer.message_dim)
+        if total_edges == 0:
+            return []
 
-        for position in range(node_ids.shape[0]):
-            neighbors = out_nbrs[position]
-            if neighbors.size == 0:
-                continue
-            node_id = int(node_ids[position])
-            edge_feats = out_edge_feats[position]
-            state_rows = np.repeat(state[position][None, :], neighbors.size, axis=0)
-            with no_grad():
-                edge_tensor = None if edge_feats is None else Tensor(edge_feats)
-                messages = layer.apply_edge(Tensor(state_rows), edge_tensor).data
+        node_pos = np.repeat(np.arange(num_nodes, dtype=np.int64), sizes)
+        all_dst = np.concatenate(
+            [np.asarray(nbrs, dtype=np.int64) for nbrs in out_nbrs])
+        node_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
 
-            if node_id in hub_set and edge_feats is None:
-                # Broadcast: one payload per destination bucket + id-only refs.
-                # Destinations are expanded through the shadow-node replica map
-                # first so every reducer that will see a ref also gets the payload.
-                payload = messages[0]
-                ref_records: List[Record] = []
-                for dst in neighbors:
-                    ref_records.extend(self._route_message(int(dst), ("r", node_id, 1)))
-                buckets = {int(_partition_fn(int(key), self.num_reducers))
-                           for key, _ in ref_records}
-                for bucket in buckets:
-                    outputs.append((("bc", bucket), ("p", node_id, payload)))
-                outputs.extend(ref_records)
+        feats = [out_edge_feats[position] for position in range(num_nodes)
+                 if sizes[position]]
+        edge_tensor = None
+        if any(f is not None for f in feats):
+            if any(f is None for f in feats):
+                raise ValueError(
+                    "mixed edge-feature availability across nodes in one batch")
+            edge_tensor = Tensor(np.concatenate(feats, axis=0))
+
+        with no_grad():
+            messages = layer.apply_edge(Tensor(state[node_pos]), edge_tensor).data
+
+        # Rows taking the broadcast path: hub source without edge features.
+        if strategy.broadcast and self.plan.out_degree_hubs.size:
+            no_feats = np.fromiter((f is None for f in out_edge_feats),
+                                   dtype=bool, count=num_nodes)
+            hub_node = np.isin(node_ids, self.plan.out_degree_hubs) & no_feats
+        else:
+            hub_node = np.zeros(num_nodes, dtype=bool)
+
+        outputs: List[Record] = []
+        plain_rows = np.nonzero(~hub_node[node_pos])[0]
+        if plain_rows.size:
+            if self.shadow_plan is not None:
+                row_index, exp_dst = self.shadow_plan.expand_rows(all_dst[plain_rows])
+                payload_rows = messages[plain_rows[row_index]]
             else:
-                for row, dst in enumerate(neighbors):
-                    outputs.extend(self._route_message(int(dst), ("m", messages[row], 1)))
-        return outputs
+                exp_dst = all_dst[plain_rows]
+                payload_rows = messages[plain_rows]
+            outputs.extend((dst, ("m", payload_rows[index], 1))
+                           for index, dst in enumerate(exp_dst.tolist()))
 
-    def _route_message(self, dst: int, value: Any) -> Iterable[Record]:
-        """Expand a message to all replicas of its destination (shadow nodes)."""
-        if self.shadow_plan is not None and dst in self.shadow_plan.replica_map:
-            return [(int(replica), value) for replica in self.shadow_plan.replica_map[dst]]
-        return [(dst, value)]
+        for position in np.nonzero(hub_node)[0].tolist():
+            # One iteration per hub *node* (rare), never per edge row.
+            # Broadcast: one payload per destination bucket + id-only refs.
+            # Destinations are expanded through the shadow replica CSR first so
+            # every reducer that will see a ref also gets the payload.
+            node_id = int(node_ids[position])
+            start = int(node_indptr[position])
+            payload = messages[start]
+            dst = all_dst[start:int(node_indptr[position + 1])]
+            if self.shadow_plan is not None:
+                _, dst = self.shadow_plan.expand_rows(dst)
+            buckets = (self.layout.owners(dst) if self.layout is not None
+                       else dst % self.num_reducers)
+            outputs.extend((("bc", bucket), ("p", node_id, payload))
+                           for bucket in np.unique(buckets).tolist())
+            outputs.extend((d, ("r", node_id, 1)) for d in dst.tolist())
+        return outputs
 
 
 class GNNRoundJob(MapReduceJob, _ScatterMixin):
@@ -127,13 +161,15 @@ class GNNRoundJob(MapReduceJob, _ScatterMixin):
 
     def __init__(self, model: GNNModel, plan: StrategyPlan,
                  shadow_plan: Optional[ShadowNodePlan], layer_index: int,
-                 num_reducers: int, original_num_nodes: int) -> None:
+                 num_reducers: int, original_num_nodes: int,
+                 layout: Optional[ClusterLayout] = None) -> None:
         self.model = model
         self.plan = plan
         self.shadow_plan = shadow_plan
         self.layer_index = layer_index
         self.num_reducers = num_reducers
         self.original_num_nodes = original_num_nodes
+        self.layout = layout
         self.is_init_round = layer_index == 0
         self.has_combiner = plan.layer(layer_index).partial_gather
 
@@ -152,10 +188,9 @@ class GNNRoundJob(MapReduceJob, _ScatterMixin):
         context.add_compute(features.shape[0] * features.shape[1] * state.shape[1])
         context.observe_memory(tensor_bytes(state.shape) + float(features.nbytes))
 
-        outputs: List[Record] = []
-        for position in range(node_ids.shape[0]):
-            outputs.append((int(node_ids[position]),
-                            ("s", state[position], out_nbrs[position], out_edge_feats[position])))
+        outputs: List[Record] = [
+            (node_id, ("s", state[position], out_nbrs[position], out_edge_feats[position]))
+            for position, node_id in enumerate(node_ids.tolist())]
         outputs.extend(self._emit_messages(0, node_ids, state, out_nbrs, out_edge_feats, context))
         return outputs
 
@@ -253,15 +288,14 @@ class GNNRoundJob(MapReduceJob, _ScatterMixin):
             with no_grad():
                 logits = self.model.predict(Tensor(new_state)).data
             context.add_compute(len(chunk) * new_state.shape[1] * logits.shape[1])
-            for position, node_id in enumerate(node_ids_arr):
-                node_id = int(node_id)
-                if node_id < self.original_num_nodes:
-                    outputs.append((node_id, ("o", logits[position])))
+            outputs.extend((node_id, ("o", logits[position]))
+                           for position, node_id in enumerate(node_ids_arr.tolist())
+                           if node_id < self.original_num_nodes)
         else:
-            for position, node_id in enumerate(node_ids_arr):
-                outputs.append((int(node_id),
-                                ("s", new_state[position], out_nbrs[position],
-                                 out_edge_feats[position])))
+            outputs.extend(
+                (node_id, ("s", new_state[position], out_nbrs[position],
+                           out_edge_feats[position]))
+                for position, node_id in enumerate(node_ids_arr.tolist()))
             outputs.extend(self._emit_messages(
                 self.layer_index + 1, node_ids_arr, new_state, out_nbrs, out_edge_feats, context))
         return outputs
@@ -322,10 +356,19 @@ def build_input_records(model: GNNModel, working_graph: Graph) -> List[Record]:
 def run_mapreduce_inference(model: GNNModel, graph: Graph, config: InferenceConfig,
                             plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
                             metrics: MetricsCollector,
-                            input_records: Optional[List[Record]] = None) -> Dict[str, np.ndarray]:
-    """Execute full-graph inference on the MapReduce backend."""
+                            input_records: Optional[List[Record]] = None,
+                            layout: Optional[ClusterLayout] = None) -> Dict[str, np.ndarray]:
+    """Execute full-graph inference on the MapReduce backend.
+
+    ``layout`` is the plan-cached :class:`~repro.cluster.layout.ClusterLayout`
+    over the working graph; the scatter uses its owner table to resolve
+    broadcast buckets (``_partition_fn`` routes int keys by the same modulo).
+    """
     working_graph = shadow_plan.graph if shadow_plan is not None else graph
     original_num_nodes = shadow_plan.original_num_nodes if shadow_plan is not None else graph.num_nodes
+    if layout is not None and (layout.num_nodes != working_graph.num_nodes
+                               or layout.num_partitions != config.num_workers):
+        raise ValueError("layout does not match the working graph / worker count")
 
     engine = MapReduceEngine(
         num_mappers=config.num_workers,
@@ -341,7 +384,7 @@ def run_mapreduce_inference(model: GNNModel, graph: Graph, config: InferenceConf
     records: List[Record] = input_records
     for layer_index in range(model.num_layers):
         job = GNNRoundJob(model, plan, shadow_plan, layer_index,
-                          config.num_workers, original_num_nodes)
+                          config.num_workers, original_num_nodes, layout=layout)
         records, _ = engine.run(job, records, phase=f"round_{layer_index}")
 
     scores = np.zeros((original_num_nodes, model.output_dim))

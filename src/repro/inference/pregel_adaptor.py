@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.cluster.cost_model import gnn_layer_compute_units
+from repro.cluster.layout import ClusterLayout
 from repro.cluster.metrics import MetricsCollector, tensor_bytes
 from repro.gnn.model import GNNModel
 from repro.graph.graph import Graph
@@ -134,7 +135,7 @@ class GNNInferenceProgram(BlockVertexProgram):
 
     def _expand(self, dst_ids: np.ndarray, payload: np.ndarray, counts: np.ndarray) -> tuple:
         """Apply shadow-node destination expansion when the strategy is active."""
-        if self.shadow_plan is None or not self.shadow_plan.replica_map:
+        if self.shadow_plan is None or not self.shadow_plan.has_mirrors:
             return dst_ids, payload, counts
         return self.shadow_plan.expand_destinations(dst_ids, payload, counts)
 
@@ -189,16 +190,20 @@ class GNNInferenceProgram(BlockVertexProgram):
 
 
 def build_pregel_engine(working_graph: Graph, config: InferenceConfig,
-                        metrics: Optional[MetricsCollector] = None) -> PregelEngine:
+                        metrics: Optional[MetricsCollector] = None,
+                        layout: Optional[ClusterLayout] = None) -> PregelEngine:
     """Partition the (possibly shadow-expanded) graph into a reusable engine.
 
     Partitioning is the expensive part of Pregel preparation; a session builds
     the engine once at ``prepare()`` time and swaps in a fresh metrics
-    collector per execution.  The layout-derived local index of every
+    collector per execution.  A :class:`~repro.cluster.layout.ClusterLayout`
+    already computed for this graph (the execution plan caches one) is reused
+    instead of rebuilt, and the layout-derived local index of every
     partition's out-edge sources is precomputed here too, so executions reuse
-    it instead of rebuilding it per run.
+    both instead of recomputing them per run.
     """
-    engine = PregelEngine(working_graph, num_workers=config.num_workers, metrics=metrics)
+    engine = PregelEngine(working_graph, num_workers=config.num_workers,
+                          metrics=metrics, layout=layout)
     for partition in engine.partitions:
         partition.block_state["out_src_local"] = partition.local_indices(partition.out_src)
     return engine

@@ -142,10 +142,12 @@ class InferenceSession:
     def prepare(self, graph: GraphLike) -> ExecutionPlan:
         """Build and cache the execution plan for ``graph``.
 
-        Runs table ingest, strategy planning, the shadow-node rewrite and the
-        backend's own preparation (Pregel partitioning / MapReduce record
-        ingest / k-hop pipeline setup).  Subsequent :meth:`infer` calls reuse
-        the returned plan until :meth:`prepare` is called again.
+        Runs table ingest, strategy planning, the shadow-node rewrite, the
+        :class:`~repro.cluster.layout.ClusterLayout` routing-table build and
+        the backend's own preparation (Pregel partitioning / MapReduce record
+        ingest / k-hop pipeline setup).  Subsequent :meth:`infer` /
+        :meth:`infer_many` calls reuse the returned plan — including the
+        cached layout, which is never recomputed per run.
         """
         self._plan = self.backend.plan(self.model, self._ingest(graph), self.config)
         self._source = graph

@@ -10,13 +10,16 @@ out-edges equals the original out-edge set — results are unchanged.
 
 The transformation is applied to the graph before partitioning; the returned
 plan carries the replica map the adaptors use to fan in-messages out to the
-mirrors and to read final predictions only from original node ids.
+mirrors and to read final predictions only from original node ids.  The map
+is stored as flat CSR arrays (``replica_indptr`` / ``replica_ids``) over the
+expanded id space, so destination expansion is a pure repeat/gather pass with
+no per-row Python.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,14 +28,21 @@ from repro.graph.graph import Graph
 
 @dataclass
 class ShadowNodePlan:
-    """Result of shadow-node preprocessing."""
+    """Result of shadow-node preprocessing.
+
+    ``replica_indptr``/``replica_ids`` form a CSR over the expanded graph's id
+    space: ``replica_ids[replica_indptr[g]:replica_indptr[g + 1]]`` lists
+    every node id the in-messages of ``g`` must be delivered to — ``g`` itself
+    first, then its mirrors; non-replicated nodes map to just themselves.
+    Both arrays are ``None`` when no node has mirrors.
+    """
 
     graph: Graph
     original_num_nodes: int
-    #: original node id -> array of ids its in-messages must be delivered to
-    #: (the original id itself plus its mirrors); nodes without mirrors are
-    #: absent from the map.
-    replica_map: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: CSR offsets, ``int64 [expanded_num_nodes + 1]`` (None when no mirrors).
+    replica_indptr: Optional[np.ndarray] = None
+    #: CSR targets, ``int64`` flat (None when no mirrors).
+    replica_ids: Optional[np.ndarray] = None
     #: mirror id -> original node id
     mirror_origin: Dict[int, int] = field(default_factory=dict)
 
@@ -40,38 +50,97 @@ class ShadowNodePlan:
     def num_mirrors(self) -> int:
         return len(self.mirror_origin)
 
+    @property
+    def has_mirrors(self) -> bool:
+        return self.replica_indptr is not None
+
+    @property
+    def replica_map(self) -> Dict[int, np.ndarray]:
+        """Legacy dict view: original node id -> its replica id array.
+
+        Only nodes that actually have mirrors appear, exactly as the old
+        ``Dict[int, np.ndarray]`` storage behaved.  Materialised on demand
+        from the CSR arrays (hub counts are tiny); the CSR arrays remain the
+        source of truth on the routing path.
+        """
+        if self.replica_indptr is None:
+            return {}
+        counts = np.diff(self.replica_indptr)
+        replicated = np.nonzero(counts > 1)[0]
+        return {int(node): self.replica_ids[
+                    int(self.replica_indptr[node]):int(self.replica_indptr[node + 1])]
+                for node in replicated}
+
+    # ------------------------------------------------------------------ #
     def expand_destinations(self, dst_ids: np.ndarray, payload: np.ndarray,
                             counts: Optional[np.ndarray] = None) -> tuple:
         """Duplicate message rows whose destination has mirrors.
 
-        Returns expanded ``(dst_ids, payload, counts)`` arrays.  Rows whose
-        destination is not replicated are passed through untouched, so the
-        common case costs one vectorised membership test.
+        Returns expanded ``(dst_ids, payload, counts)`` arrays: rows whose
+        destination is not replicated come first (in their original order),
+        followed by the replica fan-out of the replicated rows — one
+        repeat/gather pass over the CSR arrays, no per-row Python.
         """
-        if not self.replica_map:
+        if self.replica_indptr is None:
             return dst_ids, payload, counts
         dst_ids = np.asarray(dst_ids, dtype=np.int64)
         if counts is None:
             counts = np.ones(dst_ids.shape[0], dtype=np.int64)
-        replicated_ids = np.fromiter(self.replica_map.keys(), dtype=np.int64,
-                                     count=len(self.replica_map))
-        needs_expand = np.isin(dst_ids, replicated_ids)
+        reps = self.replica_indptr[dst_ids + 1] - self.replica_indptr[dst_ids]
+        needs_expand = reps > 1
         if not needs_expand.any():
             return dst_ids, payload, counts
 
         keep_rows = np.nonzero(~needs_expand)[0]
         expand_rows = np.nonzero(needs_expand)[0]
-        out_dst: List[np.ndarray] = [dst_ids[keep_rows]]
-        out_payload: List[np.ndarray] = [payload[keep_rows]]
-        out_counts: List[np.ndarray] = [counts[keep_rows]]
-        for row in expand_rows:
-            replicas = self.replica_map[int(dst_ids[row])]
-            out_dst.append(replicas)
-            out_payload.append(np.repeat(payload[row][None, :], replicas.size, axis=0))
-            out_counts.append(np.full(replicas.size, counts[row], dtype=np.int64))
-        return (np.concatenate(out_dst),
-                np.concatenate(out_payload, axis=0),
-                np.concatenate(out_counts))
+        row_index, expanded_dst = self._fan_out(dst_ids[expand_rows], reps[expand_rows])
+        source_rows = expand_rows[row_index]
+        return (np.concatenate([dst_ids[keep_rows], expanded_dst]),
+                np.concatenate([payload[keep_rows], payload[source_rows]], axis=0),
+                np.concatenate([counts[keep_rows], counts[source_rows]]))
+
+    def expand_rows(self, dst_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """In-place destination expansion for record-oriented shuffles.
+
+        Returns ``(row_index, expanded_dst)`` where every input row appears at
+        its original position, replicated rows expanding inline (row i's
+        replicas are contiguous where row i was) — the ordering the MapReduce
+        scatter emits records in.  ``row_index[j]`` names the input row that
+        produced ``expanded_dst[j]``.
+        """
+        dst_ids = np.asarray(dst_ids, dtype=np.int64)
+        if self.replica_indptr is None or dst_ids.size == 0:
+            return np.arange(dst_ids.size, dtype=np.int64), dst_ids
+        reps = self.replica_indptr[dst_ids + 1] - self.replica_indptr[dst_ids]
+        if not (reps > 1).any():
+            return np.arange(dst_ids.size, dtype=np.int64), dst_ids
+        return self._fan_out(dst_ids, reps)
+
+    def _fan_out(self, dst_ids: np.ndarray,
+                 reps: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Expand every ``dst_ids[i]`` to its ``reps[i]`` replica ids inline."""
+        row_index = np.repeat(np.arange(dst_ids.size, dtype=np.int64), reps)
+        total = int(reps.sum())
+        # Offset of each output slot within its source row's replica run.
+        run_starts = np.cumsum(reps) - reps
+        within = np.arange(total, dtype=np.int64) - np.repeat(run_starts, reps)
+        flat = np.repeat(self.replica_indptr[dst_ids], reps) + within
+        return row_index, self.replica_ids[flat]
+
+
+def _build_replica_csr(num_nodes: int,
+                       replica_lists: Dict[int, np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten per-hub replica lists into dense CSR over all node ids."""
+    counts = np.ones(num_nodes, dtype=np.int64)
+    for node, replicas in replica_lists.items():
+        counts[node] = replicas.size
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    flat = np.empty(int(indptr[-1]), dtype=np.int64)
+    identity = np.nonzero(counts == 1)[0]
+    flat[indptr[identity]] = identity
+    for node, replicas in replica_lists.items():
+        flat[int(indptr[node]):int(indptr[node + 1])] = replicas
+    return indptr, flat
 
 
 def apply_shadow_nodes(graph: Graph, threshold: int, num_workers: int,
@@ -92,7 +161,7 @@ def apply_shadow_nodes(graph: Graph, threshold: int, num_workers: int,
 
     cap = max_mirrors if max_mirrors is not None else num_workers
     new_src = graph.src.copy()
-    replica_map: Dict[int, np.ndarray] = {}
+    replica_lists: Dict[int, np.ndarray] = {}
     mirror_origin: Dict[int, int] = {}
     extra_features: List[np.ndarray] = []
     extra_labels: List[np.ndarray] = []
@@ -118,7 +187,7 @@ def apply_shadow_nodes(graph: Graph, threshold: int, num_workers: int,
                 extra_features.append(graph.node_features[hub])
             if graph.labels is not None:
                 extra_labels.append(np.asarray(graph.labels[hub]))
-        replica_map[hub] = np.asarray(replica_ids, dtype=np.int64)
+        replica_lists[hub] = np.asarray(replica_ids, dtype=np.int64)
 
     if not mirror_origin:
         return ShadowNodePlan(graph=graph, original_num_nodes=graph.num_nodes)
@@ -138,9 +207,11 @@ def apply_shadow_nodes(graph: Graph, threshold: int, num_workers: int,
         labels=labels,
         num_nodes=next_id,
     )
+    replica_indptr, replica_ids = _build_replica_csr(next_id, replica_lists)
     return ShadowNodePlan(
         graph=expanded,
         original_num_nodes=graph.num_nodes,
-        replica_map=replica_map,
+        replica_indptr=replica_indptr,
+        replica_ids=replica_ids,
         mirror_origin=mirror_origin,
     )

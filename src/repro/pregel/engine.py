@@ -9,6 +9,31 @@ wall-clock / cpu*min numbers afterwards.
 Everything runs in-process: a "worker" is a partition processed sequentially,
 which preserves the system's data-flow shape (message volumes, per-worker skew,
 superstep structure) while staying laptop-sized.
+
+How message routing works
+-------------------------
+
+Routing is columnar, built on the shared
+:class:`~repro.cluster.layout.ClusterLayout` the partitioner produces once per
+partitioning:
+
+* ``layout.owner_of`` and ``layout.local_of`` are dense ``int64`` tables
+  mapping every global node id to its owning partition and to its local row
+  there.  Senders and receivers consult the same tables, so placement needs no
+  coordination and no per-id hashing on the hot path.
+* At the end of a superstep each partition's outgoing
+  :class:`~repro.pregel.vertex.MessageBlock`\\ s are bucketed by destination
+  partition in a single vectorised pass per block: one ``owner_of`` gather
+  yields the target of every row, and
+  :meth:`~repro.pregel.vertex.MessageBlock.split_by` groups the rows with one
+  stable argsort + ``bincount`` (no per-target masks).  The effective
+  sender-side combiner is applied to each combinable bucket before it is
+  "sent", so bytes/records-out reflect post-combine volume.
+* On the receiving side, destination global ids translate to dense local rows
+  with one ``local_of`` gather (:meth:`PregelPartition.local_indices`).
+* Only the legacy per-vertex program path still groups
+  :class:`~repro.pregel.vertex.VertexMessage` values through Python dicts —
+  per-vertex messages carry arbitrary payloads and are not columnar.
 """
 
 from __future__ import annotations
@@ -18,9 +43,10 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.cluster.metrics import MetricsCollector, estimate_payload_bytes
+from repro.cluster.layout import ClusterLayout
+from repro.cluster.metrics import MetricsCollector
 from repro.graph.graph import Graph
-from repro.graph.partition import HashPartitioner, Partition, partition_graph
+from repro.graph.partition import HashPartitioner, Partition, partition_graph_with_layout
 from repro.pregel.aggregators import Aggregator
 from repro.pregel.combiners import MessageCombiner
 from repro.pregel.vertex import (
@@ -37,9 +63,16 @@ AnyMessage = Union[VertexMessage, MessageBlock]
 
 
 class PregelPartition:
-    """A worker's share of the graph plus its in-memory vertex state."""
+    """A worker's share of the graph plus its in-memory vertex state.
 
-    def __init__(self, partition: Partition) -> None:
+    Global→local translation goes through the cluster-wide
+    :class:`~repro.cluster.layout.ClusterLayout` tables (shared across all
+    partitions of one engine); when a partition is built stand-alone a
+    single-partition layout is derived from its own node ids.
+    """
+
+    def __init__(self, partition: Partition,
+                 layout: Optional[ClusterLayout] = None) -> None:
         self.partition_id = partition.partition_id
         self.node_ids = partition.node_ids
         self.node_features = partition.node_features
@@ -48,14 +81,28 @@ class PregelPartition:
         self.out_dst = partition.out_dst
         self.out_edge_features = partition.out_edge_features
         self.state = PregelPartitionState()
-        # Local index for owned vertices and a CSR over owned out-edges.
-        self._local_of: Dict[int, int] = {int(node): i for i, node in enumerate(self.node_ids)}
+        if layout is None:
+            layout = self._single_partition_layout(partition)
+        self.layout = layout
+        self._owner_of = layout.owner_of
+        self._local_of = layout.local_of
+        # CSR over owned out-edges for per-vertex programs.
         order = np.argsort(self.out_src, kind="stable")
         self._out_sorted_src = self.out_src[order]
         self._out_sorted_dst = self.out_dst[order]
         self._out_sorted_edge_ids = order
         # Extra, engine-agnostic scratch space used by block programs.
         self.block_state: Dict[str, Any] = {}
+
+    def _single_partition_layout(self, partition: Partition) -> ClusterLayout:
+        """Fallback owner/local tables when no engine-wide layout is given."""
+        size = int(partition.node_ids.max()) + 1 if partition.node_ids.size else 0
+        owner_of = np.full(size, self.partition_id + 1, dtype=np.int64)
+        local_of = np.zeros(size, dtype=np.int64)
+        owner_of[partition.node_ids] = self.partition_id
+        local_of[partition.node_ids] = np.arange(partition.node_ids.size, dtype=np.int64)
+        return ClusterLayout(owner_of=owner_of, local_of=local_of,
+                             num_partitions=self.partition_id + 2)
 
     # ------------------------------------------------------------------ #
     @property
@@ -67,14 +114,32 @@ class PregelPartition:
         return int(self.out_src.size)
 
     def owns(self, vertex_id: int) -> bool:
-        return int(vertex_id) in self._local_of
+        vertex_id = int(vertex_id)
+        return (0 <= vertex_id < self._owner_of.size
+                and int(self._owner_of[vertex_id]) == self.partition_id)
 
     def local_index(self, vertex_id: int) -> int:
-        return self._local_of[int(vertex_id)]
+        if not self.owns(vertex_id):
+            raise ValueError(
+                f"partition {self.partition_id} does not own vertex {int(vertex_id)}")
+        return int(self._local_of[int(vertex_id)])
 
     def local_indices(self, vertex_ids: np.ndarray) -> np.ndarray:
-        """Vectorised global → local index translation for owned vertices."""
-        return np.asarray([self._local_of[int(v)] for v in vertex_ids], dtype=np.int64)
+        """Vectorised global → local index translation for owned vertices.
+
+        One gather through the layout's dense ``local_of`` table.  Asking for
+        a vertex this partition does not own is a routing bug; it raises a
+        :class:`ValueError` naming the partition and the offending global id.
+        """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        in_range = (vertex_ids >= 0) & (vertex_ids < self._owner_of.size)
+        owned = np.zeros(vertex_ids.shape, dtype=bool)
+        owned[in_range] = self._owner_of[vertex_ids[in_range]] == self.partition_id
+        if not owned.all():
+            offender = int(vertex_ids[~owned][0])
+            raise ValueError(
+                f"partition {self.partition_id} does not own vertex {offender}")
+        return self._local_of[vertex_ids]
 
     def out_edges_of(self, vertex_id: int) -> np.ndarray:
         left = np.searchsorted(self._out_sorted_src, vertex_id, side="left")
@@ -104,33 +169,47 @@ class PregelEngine:
         aggregators: Optional[Dict[str, Aggregator]] = None,
         metrics: Optional[MetricsCollector] = None,
         partitioner: Optional[HashPartitioner] = None,
+        layout: Optional[ClusterLayout] = None,
     ) -> None:
         self.graph = graph
         self.num_workers = int(num_workers)
         self.partitioner = partitioner or HashPartitioner(self.num_workers)
-        self.partitions = [PregelPartition(p) for p in partition_graph(graph, self.partitioner)]
+        partitions, self.layout = partition_graph_with_layout(
+            graph, self.partitioner, layout)
+        self.partitions = [PregelPartition(p, self.layout) for p in partitions]
         self.combiner = combiner
         self.aggregators = aggregators or {}
         self.metrics = metrics or MetricsCollector()
 
     # ------------------------------------------------------------------ #
-    def _route(self, sender_id: int, superstep: int, context: PartitionContext,
+    def _route(self, context: PartitionContext,
                program_combiner: Optional[MessageCombiner]) -> List[List[AnyMessage]]:
         """Split a partition's outgoing messages by destination partition.
 
-        The effective combiner (program-provided, else engine-level) is applied
-        per destination partition before the messages are "sent", and the
-        sender's bytes/records-out counters reflect the post-combine volume —
-        this is how partial-gather shrinks IO in this simulation, exactly as
-        the real combiner does on the wire.
+        Block routing is columnar: one ``owner_of`` gather resolves every
+        row's destination partition and one stable argsort
+        (:meth:`~repro.pregel.vertex.MessageBlock.split_by`) buckets all rows
+        at once — no per-target masks, no per-row Python.  The effective
+        combiner (program-provided, else engine-level) is applied per
+        destination partition before the messages are "sent", and the sender's
+        bytes/records-out counters reflect the post-combine volume — this is
+        how partial-gather shrinks IO in this simulation, exactly as the real
+        combiner does on the wire.
         """
         outgoing: List[List[AnyMessage]] = [[] for _ in range(self.num_workers)]
         combiner = program_combiner if program_combiner is not None else self.combiner
 
-        # Plain vertex messages: group by destination partition (and combine).
+        # Plain vertex messages (legacy per-vertex path): group by destination
+        # partition through dicts — payloads are arbitrary Python values.
         by_partition: Dict[int, Dict[int, List[Any]]] = {}
         for message in context.outgoing_vertex_messages:
-            target = self.partitioner.assign(message.dst)
+            dst = int(message.dst)
+            if not 0 <= dst < self.layout.owner_of.size:
+                raise ValueError(
+                    f"partition {context.partition_id} sent a message to "
+                    f"unknown vertex {dst} (graph has "
+                    f"{self.layout.owner_of.size} vertices)")
+            target = int(self.layout.owner_of[dst])
             by_partition.setdefault(target, {}).setdefault(message.dst, []).append(message.value)
         for target, per_vertex in by_partition.items():
             for dst, values in per_vertex.items():
@@ -139,22 +218,15 @@ class PregelEngine:
                 for value in values:
                     outgoing[target].append(VertexMessage(dst=dst, value=value))
 
-        # Packed blocks: split rows by destination partition (and combine).
+        # Packed blocks: one owner gather + one argsort bucketing per block.
         for block in context.outgoing_blocks:
             if block.dst_ids.size == 0:
                 continue
-            targets = self.partitioner.assign_many(block.dst_ids)
-            for target in np.unique(targets):
-                rows = np.nonzero(targets == target)[0]
-                piece = block.take(rows)
+            targets = self.layout.owners(block.dst_ids)
+            for target, piece in block.split_by(targets, self.num_workers):
                 if combiner is not None and piece.combinable:
                     piece = combiner.combine_block(piece)
-                outgoing[int(target)].append(piece)
-
-        phase = f"superstep_{superstep}"
-        bytes_out = sum(m.nbytes() for bucket in outgoing for m in bucket)
-        records_out = sum(m.num_records() for bucket in outgoing for m in bucket)
-        self.metrics.record(phase, sender_id, bytes_out=bytes_out, records_out=records_out)
+                outgoing[target].append(piece)
         return outgoing
 
     # ------------------------------------------------------------------ #
@@ -211,16 +283,21 @@ class PregelEngine:
                         any_active = True
                         program.compute(VertexContext(vertex_id, context), vertex_messages)
 
+                program_combiner = None
+                if is_block and hasattr(program, "combiner_for_superstep"):
+                    program_combiner = program.combiner_for_superstep(superstep)
+                routed = self._route(context, program_combiner)
+                bytes_out = sum(m.nbytes() for bucket in routed for m in bucket)
+                records_out = sum(m.num_records() for bucket in routed for m in bucket)
+                # One record call per partition per superstep: compute, in- and
+                # out-volumes land in a single InstanceMetrics entry.
                 self.metrics.record(
                     phase, partition.partition_id,
                     compute_units=context.compute_units,
                     bytes_in=bytes_in, records_in=records_in,
+                    bytes_out=bytes_out, records_out=records_out,
                     peak_memory_bytes=context.peak_memory_bytes,
                 )
-                program_combiner = None
-                if is_block and hasattr(program, "combiner_for_superstep"):
-                    program_combiner = program.combiner_for_superstep(superstep)
-                routed = self._route(partition.partition_id, superstep, context, program_combiner)
                 for target, bucket in enumerate(routed):
                     next_mailboxes[target].extend(bucket)
                     messages_sent += len(bucket)

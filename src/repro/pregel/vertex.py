@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Dict, Iterable, List, Optional
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.layout import stable_group_by
 from repro.cluster.metrics import ID_BYTES, RECORD_OVERHEAD_BYTES, estimate_payload_bytes
 
 
@@ -69,6 +70,34 @@ class MessageBlock:
         """A new block containing only the selected rows (same concrete type)."""
         return MessageBlock(dst_ids=self.dst_ids[rows], payload=self.payload[rows],
                             counts=self.counts[rows])
+
+    def split_by(self, targets: np.ndarray,
+                 num_buckets: int) -> List[Tuple[int, "MessageBlock"]]:
+        """Columnar bucketing: split rows by an integer target per row.
+
+        ``targets[i]`` names the bucket (destination partition) of row ``i``.
+        One stable argsort groups all rows at once — there is no per-bucket
+        mask pass — and each non-empty bucket becomes one :meth:`take` slice,
+        so subclasses (e.g. broadcast blocks) keep their concrete type.
+        Returns ``(bucket, block)`` pairs in ascending bucket order; rows
+        within a bucket keep their original relative order, matching what a
+        per-bucket ``nonzero`` scan would produce.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.shape[0] != self.dst_ids.shape[0]:
+            raise ValueError("targets must assign one bucket per block row")
+        if targets.size == 0:
+            return []
+        if int(targets.min()) < 0 or int(targets.max()) >= int(num_buckets):
+            raise ValueError(
+                f"targets must lie in [0, {int(num_buckets)}); "
+                f"got range [{int(targets.min())}, {int(targets.max())}]")
+        order, counts, starts = stable_group_by(targets, int(num_buckets))
+        pieces: List[Tuple[int, MessageBlock]] = []
+        for bucket in np.nonzero(counts)[0]:
+            rows = order[starts[bucket]:starts[bucket] + counts[bucket]]
+            pieces.append((int(bucket), self.take(rows)))
+        return pieces
 
 
 @dataclass

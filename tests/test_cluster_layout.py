@@ -1,0 +1,139 @@
+"""Tests for the ClusterLayout routing tables and their partitioning hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.layout import ClusterLayout
+from repro.graph.partition import (
+    HashPartitioner,
+    partition_graph,
+    partition_graph_with_layout,
+)
+
+
+class TestClusterLayoutConstruction:
+    def test_from_assignments_matches_naive_dict(self):
+        rng = np.random.default_rng(3)
+        assignments = rng.integers(0, 5, size=200).astype(np.int64)
+        layout = ClusterLayout.from_assignments(assignments, 5)
+        # Naive reference: local index = rank among same-partition ids.
+        naive_local = {}
+        counters = [0] * 5
+        for node, pid in enumerate(assignments):
+            naive_local[node] = counters[pid]
+            counters[pid] += 1
+        np.testing.assert_array_equal(layout.owner_of, assignments)
+        for node in range(200):
+            assert int(layout.local_of[node]) == naive_local[node]
+
+    def test_build_matches_partitioner(self):
+        partitioner = HashPartitioner(7)
+        layout = ClusterLayout.build(100, partitioner)
+        np.testing.assert_array_equal(
+            layout.owner_of, partitioner.assign_many(np.arange(100)))
+
+    def test_build_with_custom_hash(self):
+        partitioner = HashPartitioner(4, hash_fn=lambda node: node * 31 + 7)
+        layout = ClusterLayout.build(64, partitioner)
+        expected = np.array([(n * 31 + 7) % 4 for n in range(64)])
+        np.testing.assert_array_equal(layout.owner_of, expected)
+
+    def test_rejects_out_of_range_owners(self):
+        with pytest.raises(ValueError):
+            ClusterLayout(owner_of=np.array([0, 3]), local_of=np.array([0, 0]),
+                          num_partitions=2)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            ClusterLayout(owner_of=np.array([0, 1]), local_of=np.array([0]),
+                          num_partitions=2)
+
+
+class TestClusterLayoutLookups:
+    @pytest.fixture()
+    def layout(self):
+        return ClusterLayout.build(60, HashPartitioner(4))
+
+    def test_nodes_of_roundtrip(self, layout):
+        for pid in range(4):
+            nodes = layout.nodes_of(pid)
+            assert np.all(np.diff(nodes) > 0)  # ascending
+            np.testing.assert_array_equal(layout.local_indices(nodes),
+                                          np.arange(nodes.size))
+            np.testing.assert_array_equal(nodes[layout.local_of[nodes]], nodes)
+
+    def test_translate_pairs_owner_and_local(self, layout):
+        ids = np.array([3, 17, 42, 59])
+        owners, locals_ = layout.translate(ids)
+        np.testing.assert_array_equal(owners, layout.owners(ids))
+        np.testing.assert_array_equal(locals_, layout.local_indices(ids))
+
+    def test_partition_sizes_sum_to_num_nodes(self, layout):
+        assert int(layout.partition_sizes().sum()) == layout.num_nodes
+
+    def test_empty_ids_ok(self, layout):
+        assert layout.owners(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_out_of_range_id_raises(self, layout):
+        with pytest.raises(ValueError, match="outside"):
+            layout.owners(np.array([60]))
+        with pytest.raises(ValueError, match="outside"):
+            layout.local_indices(np.array([-1]))
+
+    def test_bad_partition_id_raises(self, layout):
+        with pytest.raises(ValueError):
+            layout.nodes_of(4)
+
+
+class TestPartitionerVectorisation:
+    def test_custom_hash_assign_many_matches_assign(self):
+        partitioner = HashPartitioner(6, hash_fn=lambda node: (node ^ 21) * 13)
+        ids = np.arange(50, dtype=np.int64)
+        expected = np.array([partitioner.assign(int(n)) for n in ids])
+        np.testing.assert_array_equal(partitioner.assign_many(ids), expected)
+
+    def test_custom_hash_assign_many_empty(self):
+        partitioner = HashPartitioner(3, hash_fn=lambda node: node + 1)
+        assert partitioner.assign_many(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_custom_hash_wider_than_int64(self):
+        """Hash values beyond int64 (e.g. md5 placements) must not overflow."""
+        partitioner = HashPartitioner(5, hash_fn=lambda node: (node + 3) ** 23)
+        ids = np.arange(40, dtype=np.int64)
+        expected = np.array([partitioner.assign(int(n)) for n in ids])
+        np.testing.assert_array_equal(partitioner.assign_many(ids), expected)
+
+
+class TestPartitionGraphWithLayout:
+    def test_partitions_match_plain_partition_graph(self, small_graph):
+        partitioner = HashPartitioner(5)
+        plain = partition_graph(small_graph, partitioner)
+        with_layout, layout = partition_graph_with_layout(small_graph, partitioner)
+        assert layout.num_nodes == small_graph.num_nodes
+        for p, q in zip(plain, with_layout):
+            np.testing.assert_array_equal(p.node_ids, q.node_ids)
+            np.testing.assert_array_equal(p.out_src, q.out_src)
+            np.testing.assert_array_equal(p.out_dst, q.out_dst)
+
+    def test_layout_agrees_with_partitions(self, small_graph):
+        partitions, layout = partition_graph_with_layout(small_graph, HashPartitioner(4))
+        for partition in partitions:
+            np.testing.assert_array_equal(layout.nodes_of(partition.partition_id),
+                                          partition.node_ids)
+            owners = layout.owners(partition.node_ids)
+            assert np.all(owners == partition.partition_id)
+
+    def test_precomputed_layout_reused(self, small_graph):
+        partitioner = HashPartitioner(4)
+        layout = ClusterLayout.build(small_graph.num_nodes, partitioner)
+        partitions, returned = partition_graph_with_layout(
+            small_graph, partitioner, layout)
+        assert returned is layout
+        assert len(partitions) == 4
+
+    def test_mismatched_layout_rejected(self, small_graph):
+        layout = ClusterLayout.build(small_graph.num_nodes, HashPartitioner(3))
+        with pytest.raises(ValueError, match="layout covers"):
+            partition_graph_with_layout(small_graph, HashPartitioner(4), layout)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.cluster.metrics import MetricsCollector
 from repro.graph.graph import Graph
 from repro.pregel.aggregators import DictUnionAggregator, MaxAggregator, SumAggregator
 from repro.pregel.combiners import (
@@ -136,6 +137,27 @@ class TestPerVertexPrograms:
         phases = result.metrics.phases()
         assert "superstep_0" in phases
         assert result.metrics.total("records_out", "superstep_0") == small_graph.num_edges
+
+    def test_single_record_call_per_partition_per_superstep(self, small_graph):
+        """compute/bytes_in and bytes_out land in ONE record() call, so
+        per-phase instance counts are not inflated by a separate route-side
+        record site."""
+        calls = []
+
+        class CountingCollector(MetricsCollector):
+            def record(self, phase, instance_id, **kwargs):
+                calls.append((phase, int(instance_id)))
+                super().record(phase, instance_id, **kwargs)
+
+        engine = PregelEngine(small_graph, num_workers=4, metrics=CountingCollector())
+        result = engine.run(DegreeCountProgram())
+        assert len(calls) == len(set(calls)), "duplicate record() per (phase, instance)"
+        # Every call carries both directions of IO for superstep 0.
+        for instance in range(4):
+            entry = result.metrics.get("superstep_0", instance)
+            assert entry is not None
+            assert entry.bytes_in == 0.0          # nothing received yet
+            assert entry.bytes_out > 0.0          # everyone sends degree messages
 
     def test_engine_combiner_reduces_messages(self, small_graph):
         plain = PregelEngine(small_graph, num_workers=2).run(DegreeCountProgram())
