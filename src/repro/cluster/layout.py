@@ -53,6 +53,25 @@ def stable_group_by(keys: np.ndarray,
     return order, counts, starts
 
 
+def csr_gather(indptr: np.ndarray, values: np.ndarray,
+               ids: np.ndarray) -> np.ndarray:
+    """Concatenate ``values[indptr[i]:indptr[i+1]]`` for every ``i`` in ``ids``.
+
+    The ranged multi-gather behind every CSR walk in the system — shadow
+    replica fan-out, batched out-neighbour expansion — in one
+    repeat/arange pass with no per-id Python.  Ranges appear in ``ids`` order,
+    each range in its stored order.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    counts = indptr[ids + 1] - indptr[ids]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=values.dtype)
+    run_starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+    return values[np.repeat(indptr[ids], counts) + within]
+
+
 class ClusterLayout:
     """Dense global→owner and global→local translation tables.
 
@@ -149,6 +168,23 @@ class ClusterLayout:
         """``(owners, local_indices)`` for a batch of global ids in one pass."""
         global_ids = self._check_ids(global_ids)
         return self.owner_of[global_ids], self.local_of[global_ids]
+
+    def group_by_owner(self, global_ids: np.ndarray):
+        """Group row positions of ``global_ids`` by owning partition.
+
+        Yields ``(partition_id, positions)`` for *every* partition in id
+        order — empty ones included, so callers that must overwrite
+        per-partition state (e.g. an edge regroup after a delta) cannot skip
+        a partition that just lost its last row.  ``positions`` index into
+        ``global_ids``; rows within a partition keep their original relative
+        order (stable grouping), which is what keeps delta-time regroups
+        bit-identical to a from-scratch partitioning.
+        """
+        owners = self.owners(global_ids)
+        order, counts, starts = stable_group_by(owners, self.num_partitions)
+        for pid in range(self.num_partitions):
+            start = int(starts[pid])
+            yield pid, order[start:start + int(counts[pid])]
 
     # ------------------------------------------------------------------ #
     # per-partition views

@@ -15,6 +15,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.layout import csr_gather
+
 
 @dataclass
 class _AdjacencyIndex:
@@ -150,6 +152,30 @@ class Graph:
         """Edge ids (positions in src/dst) of the node's out-edges."""
         index = self._out()
         return index.edge_ids[index.indptr[node]:index.indptr[node + 1]]
+
+    def out_neighbors_many(self, nodes: np.ndarray) -> np.ndarray:
+        """Concatenated out-neighbour ids of every node in ``nodes``.
+
+        One repeat/gather pass over the cached CSR index — the batched walk
+        the incremental-inference frontier expansion runs once per hop.
+        Duplicates are preserved (callers ``np.unique`` when they need a set).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return np.empty(0, dtype=np.int64)
+        index = self._out()
+        return csr_gather(index.indptr, index.neighbor_ids, nodes)
+
+    def invalidate_adjacency(self) -> None:
+        """Drop the cached CSR/CSC indices after an in-place edge mutation.
+
+        The adjacency indices are derived from ``src``/``dst`` lazily; any code
+        that swaps those arrays (e.g. applying a
+        :class:`~repro.inference.delta.GraphDelta`) must call this so the next
+        neighbour lookup rebuilds them instead of reading stale slices.
+        """
+        self._out_index = None
+        self._in_index = None
 
     def in_edge_ids(self, node: int) -> np.ndarray:
         """Edge ids (positions in src/dst) of the node's in-edges."""

@@ -44,6 +44,13 @@ All three strategies drop no information, so predictions are bit-identical to
 the single-machine forward pass — the property the consistency experiment
 (Fig. 7) relies on.
 
+Serving graphs drift between runs; the session's staleness contract keeps
+that safe: mutate a prepared graph out of band and ``infer()`` raises
+:class:`~repro.inference.delta.StalePlanError`; describe the change as a
+:class:`~repro.inference.delta.GraphDelta` through
+``session.apply_delta(delta)`` and ``infer(mode="incremental")`` recomputes
+just the dirty k-hop region — bit-identical to a fresh full run.
+
 :class:`~repro.inference.inferturbo.InferTurbo` remains as a deprecated
 one-shot shim over the session API.
 """
@@ -58,6 +65,12 @@ from repro.inference.backends import (
     unregister_backend,
 )
 from repro.inference.config import InferenceConfig, StrategyConfig
+from repro.inference.delta import (
+    DeltaOutcome,
+    GraphDelta,
+    StalePlanError,
+    graph_fingerprint,
+)
 from repro.inference.inferturbo import InferTurbo
 from repro.inference.session import InferenceResult, InferenceSession, RunReport
 from repro.inference.strategies import hub_threshold, StrategyPlan, build_strategy_plan
@@ -68,6 +81,10 @@ __all__ = [
     "StrategyConfig",
     "InferenceSession",
     "RunReport",
+    "GraphDelta",
+    "DeltaOutcome",
+    "StalePlanError",
+    "graph_fingerprint",
     "InferTurbo",
     "InferenceResult",
     "Backend",

@@ -42,8 +42,11 @@ class ExecutionPlan:
     The plan is the cacheable half of an inference run: the resolved strategy
     switches, the (optional) shadow-node rewritten graph, and any
     backend-private artefacts in ``state`` (a partitioned Pregel engine, the
-    MapReduce input records, a k-hop pipeline).  Executing a plan never
-    mutates it, so one plan supports arbitrarily many ``execute`` calls.
+    MapReduce input records, a k-hop pipeline).  One plan supports
+    arbitrarily many ``execute`` calls: execution never changes what a plan
+    *means*, though it may refresh backend-private caches inside ``state``
+    (e.g. the per-superstep node states incremental inference splices into),
+    and a backend's ``apply_delta`` hook patches the plan in place by design.
     """
 
     backend: str
@@ -58,6 +61,11 @@ class ExecutionPlan:
     num_supersteps: int = 0
     #: backend-private precomputed artefacts (engines, records, pipelines).
     state: Dict[str, Any] = field(default_factory=dict)
+    #: content fingerprint of ``graph`` at plan (or last delta) time — see
+    #: :func:`repro.inference.delta.graph_fingerprint`.  The session checks it
+    #: on every ``infer()`` and raises ``StalePlanError`` on out-of-band
+    #: mutation instead of serving stale scores.
+    fingerprint: Optional[tuple] = None
 
     @property
     def working_graph(self) -> Graph:
@@ -86,7 +94,20 @@ class ExecutionPlan:
 
 @runtime_checkable
 class Backend(Protocol):
-    """The protocol every registered backend implements."""
+    """The protocol every registered backend implements.
+
+    Beyond the required methods, a backend may implement two *optional* delta
+    hooks (the session discovers them via ``getattr``, so plain backends like
+    ``mapreduce``/``khop`` keep working with full-recompute semantics):
+
+    * ``apply_delta(plan, delta) -> DeltaOutcome`` — patch the cached plan in
+      place for a :class:`~repro.inference.delta.GraphDelta`; return
+      ``in_place=False`` when the delta invalidates the plan (the session
+      then re-prepares from the already-updated graph);
+    * ``execute_incremental(plan, metrics, feature_dirty, topo_dirty)`` —
+      run one inference restricted to the dirty k-hop region, or return
+      ``None`` to make the session fall back to a full ``execute``.
+    """
 
     name: str
 

@@ -4,11 +4,18 @@ Planning partitions the (possibly shadow-expanded) graph once into a
 :class:`~repro.pregel.engine.PregelEngine`; every execution reuses the cached
 partitions and only swaps in a fresh metrics collector, so repeated
 ``infer()`` calls skip the hash-partitioning pass entirely.
+
+This backend also implements the optional delta hooks of the
+:class:`~repro.inference.backends.base.Backend` protocol: ``apply_delta``
+patches the cached plan in place for feature refreshes (including shadow
+mirror copies) and hub-preserving edge deltas, and ``execute_incremental``
+reruns only the dirty k-hop region against the warm engine — the serving
+path for graphs that change between recurring inference jobs.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -17,12 +24,20 @@ from repro.cluster.resources import ClusterSpec
 from repro.gnn.model import GNNModel
 from repro.graph.graph import Graph
 from repro.inference.config import InferenceConfig
+from repro.inference.delta import DeltaOutcome, GraphDelta, apply_delta_to_graph
 from repro.inference.backends.base import (
     ExecutionPlan,
     plan_gas_execution,
     register_backend,
 )
-from repro.inference.pregel_adaptor import build_pregel_engine, run_pregel_inference
+from repro.inference.pregel_adaptor import (
+    build_pregel_engine,
+    run_pregel_inference,
+    run_pregel_inference_incremental,
+)
+from repro.inference.strategies import hub_threshold, select_hubs
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 @register_backend("pregel")
@@ -44,4 +59,92 @@ class PregelBackend:
                 metrics: MetricsCollector) -> Dict[str, np.ndarray]:
         return run_pregel_inference(plan.model, plan.graph, plan.config,
                                     plan.strategy_plan, plan.shadow_plan, metrics,
-                                    engine=plan.state.get("engine"))
+                                    engine=plan.state.get("engine"),
+                                    cache_states=plan.config.incremental_state_cache)
+
+    # ------------------------------------------------------------------ #
+    # optional delta hooks
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, plan: ExecutionPlan, delta: GraphDelta) -> DeltaOutcome:
+        """Patch the cached plan for ``delta``; report what stays valid.
+
+        Feature rows are always applied in place: the base graph, the
+        shadow-expanded working graph (originals *and* mirror copies, via the
+        replica CSR) and every engine partition's feature slice are updated
+        through one :class:`~repro.cluster.layout.ClusterLayout` translate +
+        grouped scatter.  Edge deltas are applied in place only when that is
+        provably bit-stable: the hub set must survive the threshold re-check,
+        shadow-nodes must be off (edge positions feed the mirror slicing),
+        and every layer's ``apply_edge`` must be the identity (a projecting
+        apply_edge runs at edge-table shape, which the delta changes).
+        Anything else returns ``in_place=False`` after landing the delta on
+        the base graph, and the session re-plans from it.
+        """
+        graph = plan.graph
+        config = plan.config
+        has_edge_features = graph.edge_features is not None
+
+        in_place, reason = True, ""
+        if delta.has_edge_changes:
+            if config.strategies.shadow_nodes:
+                in_place, reason = False, "edge deltas reshuffle shadow mirror slices"
+            elif any(not layer.apply_edge_is_identity(has_edge_features)
+                     for layer in plan.model.layers):
+                in_place, reason = False, ("edge-count changes are not bit-stable "
+                                           "for projecting apply_edge layers")
+
+        # Land the delta on the base graph first — validation happens here,
+        # and even an invalidating delta must reach the graph so the session
+        # can re-prepare from the updated state.
+        topo_dirty = apply_delta_to_graph(graph, delta)
+
+        if in_place and delta.has_edge_changes:
+            new_threshold = hub_threshold(graph.num_edges, config.num_workers,
+                                          config.strategies.hub_lambda,
+                                          config.strategies.hub_threshold_override)
+            new_hubs = select_hubs(graph.out_degrees(), new_threshold)
+            if not np.array_equal(new_hubs, plan.strategy_plan.out_degree_hubs):
+                in_place, reason = False, "the out-degree hub set changed"
+            else:
+                plan.strategy_plan.threshold = new_threshold
+        if not in_place:
+            return DeltaOutcome(in_place=False, reason=reason)
+
+        engine = plan.state.get("engine")
+        feature_dirty = _EMPTY
+        if delta.has_feature_changes:
+            shadow_plan = plan.shadow_plan
+            if shadow_plan is not None and shadow_plan.has_mirrors:
+                feature_dirty = shadow_plan.refresh_mirror_features(graph, delta.node_ids)
+            else:
+                feature_dirty = np.unique(delta.node_ids)
+            if engine is not None and plan.layout is not None:
+                working = plan.working_graph
+                rows = working.node_features[feature_dirty]
+                local = plan.layout.local_indices(feature_dirty)
+                for pid, sel in plan.layout.group_by_owner(feature_dirty):
+                    if sel.size:
+                        engine.partitions[pid].node_features[local[sel]] = rows[sel]
+
+        if delta.has_edge_changes and engine is not None and plan.layout is not None:
+            # No shadow mirrors on this path, so working graph == base graph:
+            # regroup the updated edge list per owning partition (one stable
+            # argsort — the same slicing a fresh partitioning would produce;
+            # partitions that lost their last edge get empty arrays).
+            for pid, ids in plan.layout.group_by_owner(graph.src):
+                engine.partitions[pid].replace_out_edges(
+                    graph.src[ids], graph.dst[ids],
+                    None if graph.edge_features is None else graph.edge_features[ids])
+
+        return DeltaOutcome(in_place=True, feature_dirty=feature_dirty,
+                            topo_dirty=topo_dirty)
+
+    def execute_incremental(self, plan: ExecutionPlan, metrics: MetricsCollector,
+                            feature_dirty: np.ndarray,
+                            topo_dirty: np.ndarray) -> Optional[Dict[str, np.ndarray]]:
+        engine = plan.state.get("engine")
+        if engine is None:
+            return None
+        return run_pregel_inference_incremental(
+            plan.model, plan.graph, plan.config, plan.strategy_plan,
+            plan.shadow_plan, metrics, engine, feature_dirty, topo_dirty)

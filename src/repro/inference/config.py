@@ -57,6 +57,19 @@ class InferenceConfig:
     collect_embeddings:
         When True the result also carries the final-layer embeddings, not just
         the prediction scores.
+    staleness_check:
+        When True (default) every ``infer()`` re-fingerprints the prepared
+        graph and raises :class:`~repro.inference.delta.StalePlanError` if it
+        was mutated out of band — the loud-failure half of the staleness
+        contract.  Disable only for graphs guaranteed immutable, to shave the
+        checksum pass off the serving hot path.
+    incremental_state_cache:
+        When True (default) backends that support incremental inference keep
+        every superstep's node state resident between runs, so
+        ``infer(mode="incremental")`` after an ``apply_delta`` recomputes only
+        the dirty k-hop region.  Costs ~(layers+1)x the node-state memory;
+        disable on memory-tight deployments (incremental requests then fall
+        back to full executions).
     """
 
     backend: str = "pregel"
@@ -64,6 +77,8 @@ class InferenceConfig:
     cluster: Optional[ClusterSpec] = None
     strategies: StrategyConfig = field(default_factory=StrategyConfig)
     collect_embeddings: bool = False
+    staleness_check: bool = True
+    incremental_state_cache: bool = True
 
     def __post_init__(self) -> None:
         # Imported lazily: the backend modules themselves import this module.

@@ -1,0 +1,293 @@
+"""Graph versioning, deltas and the staleness contract for serving sessions.
+
+An :class:`~repro.inference.session.InferenceSession` snapshots the graph at
+``prepare()`` time.  Before this module existed, mutating that graph in place
+(refreshing node features for a nightly scoring job, appending edges as
+traffic arrives) silently served *yesterday's* scores — the classic stale-plan
+bug of plan-once/infer-many systems.  The contract is now explicit:
+
+* every prepared plan carries a :func:`graph_fingerprint` of the source
+  graph's feature buffers and edge arrays; ``infer()`` re-checks it and raises
+  :class:`StalePlanError` on any out-of-band mutation — a loud error instead
+  of a silent wrong answer;
+* in-band changes travel as a :class:`GraphDelta` through
+  ``session.apply_delta(delta)``, which updates the cached plan (and its
+  fingerprint) in place where possible and transparently re-plans where not;
+* after a delta, ``session.infer(mode="incremental")`` recomputes only the
+  k-hop region the delta can reach (see :func:`expand_frontier`), bit-identical
+  to a fresh full ``prepare()+infer()``.
+
+The delta is deliberately columnar — changed feature rows plus added/removed
+edge arrays — so applying it is a handful of vectorised scatters, never a
+per-row Python loop.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+class StalePlanError(RuntimeError):
+    """The prepared plan no longer matches the graph it was built over.
+
+    Raised by ``InferenceSession.infer()`` when the graph was mutated in place
+    after ``prepare()`` without going through ``apply_delta``.  Recover by
+    describing the change as a :class:`GraphDelta` and calling
+    ``session.apply_delta(delta)``, or by calling ``session.prepare(graph)``
+    to re-plan from scratch.
+    """
+
+
+@dataclass
+class GraphDelta:
+    """A columnar description of what changed in a graph between two runs.
+
+    Parameters
+    ----------
+    node_ids, node_features:
+        Replacement feature rows: ``node_features[i]`` is the new feature row
+        of node ``node_ids[i]``.  Both must be given together.
+    added_src, added_dst:
+        Endpoint arrays of appended edges (existing node ids only — growing
+        the node set requires a fresh ``prepare()``).
+    added_edge_features:
+        Feature rows of the appended edges; required when the graph carries
+        edge features, forbidden when it does not.
+    removed_edge_ids:
+        Positions (into the graph's current ``src``/``dst`` arrays) of edges
+        to delete.  Removal is applied before the append, so positions always
+        refer to the pre-delta edge list.
+    """
+
+    node_ids: Optional[np.ndarray] = None
+    node_features: Optional[np.ndarray] = None
+    added_src: Optional[np.ndarray] = None
+    added_dst: Optional[np.ndarray] = None
+    added_edge_features: Optional[np.ndarray] = None
+    removed_edge_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if (self.node_ids is None) != (self.node_features is None):
+            raise ValueError("node_ids and node_features must be given together")
+        if (self.added_src is None) != (self.added_dst is None):
+            raise ValueError("added_src and added_dst must be given together")
+        if self.node_ids is not None:
+            self.node_ids = np.asarray(self.node_ids, dtype=np.int64).reshape(-1)
+            self.node_features = np.asarray(self.node_features, dtype=np.float64)
+            if self.node_features.ndim != 2 or self.node_features.shape[0] != self.node_ids.size:
+                raise ValueError("node_features must be a [len(node_ids), F] matrix")
+            if np.unique(self.node_ids).size != self.node_ids.size:
+                raise ValueError("node_ids must not contain duplicates")
+        if self.added_src is not None:
+            self.added_src = np.asarray(self.added_src, dtype=np.int64).reshape(-1)
+            self.added_dst = np.asarray(self.added_dst, dtype=np.int64).reshape(-1)
+            if self.added_src.shape != self.added_dst.shape:
+                raise ValueError("added_src and added_dst must have the same length")
+        if self.added_edge_features is not None:
+            if self.added_src is None:
+                raise ValueError("added_edge_features requires added edges")
+            self.added_edge_features = np.asarray(self.added_edge_features, dtype=np.float64)
+            if self.added_edge_features.shape[0] != self.added_src.size:
+                raise ValueError("added_edge_features must align with added_src")
+        if self.removed_edge_ids is not None:
+            self.removed_edge_ids = np.unique(
+                np.asarray(self.removed_edge_ids, dtype=np.int64).reshape(-1))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def has_feature_changes(self) -> bool:
+        return self.node_ids is not None and self.node_ids.size > 0
+
+    @property
+    def has_edge_changes(self) -> bool:
+        return ((self.added_src is not None and self.added_src.size > 0)
+                or (self.removed_edge_ids is not None and self.removed_edge_ids.size > 0))
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.has_feature_changes or self.has_edge_changes)
+
+    def describe(self) -> str:
+        parts = []
+        if self.has_feature_changes:
+            parts.append(f"{self.node_ids.size} feature row(s)")
+        if self.added_src is not None and self.added_src.size:
+            parts.append(f"+{self.added_src.size} edge(s)")
+        if self.removed_edge_ids is not None and self.removed_edge_ids.size:
+            parts.append(f"-{self.removed_edge_ids.size} edge(s)")
+        return ", ".join(parts) if parts else "<empty delta>"
+
+
+@dataclass
+class DeltaOutcome:
+    """What a backend did with a :class:`GraphDelta`.
+
+    ``in_place=True`` means the cached :class:`ExecutionPlan` was patched and
+    remains valid; ``feature_dirty``/``topo_dirty`` then carry the
+    working-graph node ids that seed the next incremental run (feature-dirty
+    nodes enter the frontier at superstep 0, topology-dirty destinations at
+    the first gather).  ``in_place=False`` means the delta invalidated the
+    plan (e.g. the hub set changed) and the session re-planned from scratch.
+    """
+
+    in_place: bool
+    feature_dirty: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+    topo_dirty: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+    reason: str = ""
+
+
+# --------------------------------------------------------------------------- #
+# fingerprinting
+# --------------------------------------------------------------------------- #
+def graph_fingerprint(graph: Graph) -> Tuple[int, int, int]:
+    """A cheap content fingerprint of everything inference reads from a graph.
+
+    ``(num_nodes, num_edges, crc)`` where the CRC chains over the raw bytes of
+    the edge endpoint arrays and the node/edge feature buffers.  CRC32 runs at
+    memory bandwidth, so checking it on every ``infer()`` costs a few
+    milliseconds even at benchmark scale — cheap insurance against silently
+    serving stale scores.  Labels are excluded: predictions never read them.
+    """
+    crc = 0
+    for array in (graph.src, graph.dst, graph.node_features, graph.edge_features):
+        if array is not None:
+            # crc32 reads the array through the buffer protocol — no copy.
+            crc = zlib.crc32(np.ascontiguousarray(array), crc)
+    return (graph.num_nodes, graph.num_edges, crc)
+
+
+# --------------------------------------------------------------------------- #
+# applying a delta to a graph
+# --------------------------------------------------------------------------- #
+def _check_node_ids(ids: np.ndarray, num_nodes: int, what: str) -> None:
+    if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= num_nodes):
+        bad = ids[(ids < 0) | (ids >= num_nodes)][0]
+        raise ValueError(
+            f"{what} references node {int(bad)} outside [0, {num_nodes}); "
+            "adding nodes requires a fresh prepare()")
+
+
+def apply_delta_to_graph(graph: Graph, delta: GraphDelta) -> np.ndarray:
+    """Apply ``delta`` to ``graph`` in place; return the topology-dirty dsts.
+
+    Feature rows are overwritten, removed edges dropped, added edges appended
+    (in that order), and the graph's cached adjacency indices invalidated.
+    The return value is the unique array of destination ids whose in-edge set
+    changed — the seeds the incremental frontier needs besides the
+    feature-dirty nodes.
+
+    All validation happens before the first write: a rejected delta must
+    leave the graph untouched, or the session it belongs to would be wedged
+    between a half-applied graph and a fingerprint that no longer matches.
+    """
+    removing = delta.removed_edge_ids is not None and delta.removed_edge_ids.size > 0
+    adding = delta.added_src is not None and delta.added_src.size > 0
+
+    if delta.has_feature_changes:
+        if graph.node_features is None:
+            raise ValueError("delta carries feature rows but the graph has no features")
+        _check_node_ids(delta.node_ids, graph.num_nodes, "delta.node_ids")
+        if delta.node_features.shape[1] != graph.node_features.shape[1]:
+            raise ValueError(
+                f"delta feature width {delta.node_features.shape[1]} does not match "
+                f"graph feature width {graph.node_features.shape[1]}")
+    if removing:
+        removed = delta.removed_edge_ids
+        if int(removed.min()) < 0 or int(removed.max()) >= graph.num_edges:
+            raise ValueError(f"removed_edge_ids must lie in [0, {graph.num_edges})")
+    if adding:
+        _check_node_ids(delta.added_src, graph.num_nodes, "delta.added_src")
+        _check_node_ids(delta.added_dst, graph.num_nodes, "delta.added_dst")
+        if graph.edge_features is not None and delta.added_edge_features is None:
+            raise ValueError("graph has edge features; delta must carry "
+                             "added_edge_features for appended edges")
+        if graph.edge_features is None and delta.added_edge_features is not None:
+            raise ValueError("delta carries edge features but the graph has none")
+        if delta.added_edge_features is not None and (
+                delta.added_edge_features.ndim != 2
+                or delta.added_edge_features.shape[1] != graph.edge_features.shape[1]):
+            raise ValueError(
+                f"added_edge_features must be a "
+                f"[{delta.added_src.size}, {graph.edge_features.shape[1]}] matrix "
+                f"matching the graph's edge-feature width; "
+                f"got shape {delta.added_edge_features.shape}")
+
+    topo_dirty: List[np.ndarray] = []
+    if delta.has_feature_changes:
+        graph.node_features[delta.node_ids] = delta.node_features
+    if delta.has_edge_changes:
+        src, dst = graph.src, graph.dst
+        edge_features = graph.edge_features
+        if removing:
+            removed = delta.removed_edge_ids
+            topo_dirty.append(dst[removed])
+            keep = np.ones(src.size, dtype=bool)
+            keep[removed] = False
+            src, dst = src[keep], dst[keep]
+            if edge_features is not None:
+                edge_features = edge_features[keep]
+        if adding:
+            topo_dirty.append(delta.added_dst)
+            src = np.concatenate([src, delta.added_src])
+            dst = np.concatenate([dst, delta.added_dst])
+            if edge_features is not None:
+                edge_features = np.concatenate(
+                    [edge_features, delta.added_edge_features], axis=0)
+        graph.src, graph.dst = src, dst
+        graph.edge_features = edge_features
+        graph.invalidate_adjacency()
+
+    if not topo_dirty:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(topo_dirty))
+
+
+# --------------------------------------------------------------------------- #
+# frontier expansion for incremental inference
+# --------------------------------------------------------------------------- #
+def expand_frontier(working_graph: Graph, feature_dirty: np.ndarray,
+                    topo_dirty: np.ndarray, num_supersteps: int,
+                    shadow_plan=None) -> List[np.ndarray]:
+    """Per-superstep dirty-vertex frontiers over the working graph.
+
+    ``frontiers[s]`` lists (sorted, unique) every working-graph node whose
+    superstep-``s`` state can differ from the cached run: feature-dirty nodes
+    seed superstep 0, topology-dirty destinations join at the first gather,
+    and each later frontier is the previous one plus its one-hop out-
+    neighbourhood — the frontier only ever grows, because ``apply_node`` feeds
+    a node's own previous state forward.
+
+    Frontiers are kept *replica-closed*: a shadow mirror computes exactly its
+    origin's state, so origin and mirrors always enter a frontier together
+    (``shadow_plan.replicas_of``).  That invariant is what lets the scatter
+    test plain (pre-expansion) destination ids against the next frontier.
+    """
+
+    def close(ids: np.ndarray) -> np.ndarray:
+        ids = np.unique(np.asarray(ids, dtype=np.int64))
+        if shadow_plan is None or not shadow_plan.has_mirrors:
+            return ids
+        return shadow_plan.replicas_of(ids)
+
+    frontiers = [close(feature_dirty)]
+    topo_closed = close(topo_dirty)
+    # Frontiers are monotone, so each hop only needs the out-neighbourhood of
+    # the nodes added *last* hop — everyone else's reach is already included —
+    # and only the newly reached ids need closing (a union of closed sets is
+    # closed).
+    newly_added = frontiers[0]
+    for _ in range(1, num_supersteps):
+        current = frontiers[-1]
+        reached = close(working_graph.out_neighbors_many(newly_added))
+        nxt = np.union1d(current, np.union1d(reached, topo_closed))
+        newly_added = np.setdiff1d(nxt, current, assume_unique=True)
+        frontiers.append(nxt)
+    return frontiers

@@ -14,11 +14,32 @@ Node state, out-edges and features stay in partition memory across supersteps
 The hub-node strategies plug in here: partial-gather through the per-superstep
 combiner, broadcast through :class:`~repro.inference.strategies.BroadcastMessageBlock`,
 shadow-nodes through destination expansion against the replica map.
+
+Incremental inference
+---------------------
+
+A session that applied a :class:`~repro.inference.delta.GraphDelta` in place
+can rerun just the delta's reach: full runs cache every superstep's state
+per partition (``h_history``); an incremental run walks a per-superstep dirty
+frontier (:func:`~repro.inference.delta.expand_frontier`), sends only messages
+bound for next-frontier destinations, recomputes only frontier rows, and
+splices them into the cached states.  Bit-identity with a fresh full run is
+preserved by two rules:
+
+* per-destination message *sets and order* are unchanged — filtering keeps
+  all of a frontier destination's rows and drops whole destinations, so the
+  order-sensitive segment reductions accumulate identical bits;
+* matmul stages (``encode`` / ``apply_edge`` with projections /
+  ``apply_node`` / ``predict``) always run at full matrix shape before rows
+  are sliced — BLAS kernels are not bit-stable across differing shapes, so
+  subset-shaped matmuls would drift in the last ulp.  Layers whose
+  ``apply_edge`` is the identity skip the full-shape pass entirely (a row
+  gather is exact at any shape), which is the common GCN/SAGE serving case.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +49,7 @@ from repro.cluster.metrics import MetricsCollector, tensor_bytes
 from repro.gnn.model import GNNModel
 from repro.graph.graph import Graph
 from repro.inference.config import InferenceConfig
+from repro.inference.delta import expand_frontier
 from repro.inference.shadow import ShadowNodePlan
 from repro.inference.strategies import (
     BroadcastMessageBlock,
@@ -39,16 +61,31 @@ from repro.pregel.engine import PregelEngine, PregelPartition
 from repro.pregel.vertex import BlockVertexProgram, MessageBlock, PartitionContext
 from repro.tensor.tensor import Tensor, no_grad
 
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+
 
 class GNNInferenceProgram(BlockVertexProgram):
-    """Block vertex program that runs a GAS GNN model layer by layer."""
+    """Block vertex program that runs a GAS GNN model layer by layer.
+
+    ``cache_states=True`` makes a full run record every superstep's state (and
+    the final logits) in partition ``block_state`` — the warm cache
+    incremental runs splice into.  ``incremental=True`` runs against that
+    cache: ``context.frontier_rows`` names the local rows to recompute and
+    ``edge_rows[(partition_id, superstep)]`` the out-edge rows whose messages
+    must still be sent (everything bound for a next-frontier destination).
+    """
 
     def __init__(self, model: GNNModel, plan: StrategyPlan,
-                 shadow_plan: Optional[ShadowNodePlan] = None) -> None:
+                 shadow_plan: Optional[ShadowNodePlan] = None,
+                 cache_states: bool = False, incremental: bool = False,
+                 edge_rows: Optional[Dict[Tuple[int, int], np.ndarray]] = None) -> None:
         self.model = model
         self.plan = plan
         self.shadow_plan = shadow_plan
         self.num_layers = model.num_layers
+        self.incremental = bool(incremental)
+        self.cache_states = bool(cache_states) or self.incremental
+        self.edge_rows = edge_rows if edge_rows is not None else {}
 
     # ------------------------------------------------------------------ #
     def max_supersteps(self) -> int:
@@ -65,12 +102,24 @@ class GNNInferenceProgram(BlockVertexProgram):
 
         ``out_src_local`` depends only on the partition layout, so an engine
         prepared once (see :func:`build_pregel_engine`) keeps it across runs;
-        a fresh engine computes it here on first use.
+        a fresh engine computes it here on first use.  An incremental run
+        keeps the cached ``h_history``/``output`` (that cache *is* its input);
+        a full run resets them.
         """
         if "out_src_local" not in partition.block_state:
             partition.block_state["out_src_local"] = partition.local_indices(partition.out_src)
         partition.block_state["h"] = None
+        if self.incremental:
+            if not has_cached_run(partition, self.num_layers):
+                raise RuntimeError(
+                    "incremental inference requires cached superstep states "
+                    "from a previous full run on this plan")
+            return
         partition.block_state["output"] = None
+        if self.cache_states:
+            partition.block_state["h_history"] = [None] * (self.num_layers + 1)
+        else:
+            partition.block_state.pop("h_history", None)
 
     # ------------------------------------------------------------------ #
     def _assemble_messages(self, partition: PregelPartition,
@@ -87,7 +136,13 @@ class GNNInferenceProgram(BlockVertexProgram):
 
     def _scatter_messages(self, context: PartitionContext, partition: PregelPartition,
                           state: np.ndarray, superstep: int) -> None:
-        """Build and send this superstep's out-edge messages."""
+        """Build and send this superstep's out-edge messages.
+
+        An incremental run restricts the scatter to the precomputed out-edge
+        rows bound for next-frontier destinations.  The restriction is
+        all-or-nothing per destination, so every surviving destination still
+        receives its complete in-message set in the full run's order.
+        """
         if partition.num_out_edges == 0:
             return
         next_layer = self.model.layers[superstep]
@@ -96,17 +151,33 @@ class GNNInferenceProgram(BlockVertexProgram):
         edge_features = partition.out_edge_features
         edge_tensor = None if edge_features is None else Tensor(edge_features)
 
-        messages = next_layer.apply_edge(Tensor(state[src_local]), edge_tensor).data
-        dst_ids = partition.out_dst
-        source_ids = partition.out_src
+        if self.incremental:
+            edge_rows = self.edge_rows.get((partition.partition_id, superstep),
+                                           _EMPTY_ROWS)
+            if edge_rows.size == 0:
+                return
+            if next_layer.apply_edge_is_identity(edge_tensor is not None):
+                # Identity messages: a row gather is exact at any subset size.
+                messages = state[src_local[edge_rows]]
+            else:
+                # Projecting layers run apply_edge at full edge-table shape
+                # and slice after — subset-shaped matmuls are not bit-stable.
+                messages = next_layer.apply_edge(
+                    Tensor(state[src_local]), edge_tensor).data[edge_rows]
+            dst_ids = partition.out_dst[edge_rows]
+            source_ids = partition.out_src[edge_rows]
+        else:
+            messages = next_layer.apply_edge(Tensor(state[src_local]), edge_tensor).data
+            dst_ids = partition.out_dst
+            source_ids = partition.out_src
         counts = np.ones(dst_ids.shape[0], dtype=np.int64)
 
         # apply_edge cost: one pass over every outgoing message element (the
         # per-edge projections some layers perform are folded into this rate).
         context.add_compute(messages.shape[0] * messages.shape[1])
 
-        if layer_strategy.broadcast and self.plan.hub_set:
-            hub_rows, plain_rows = split_hub_edges(source_ids, self.plan.hub_set)
+        if layer_strategy.broadcast and self.plan.out_degree_hubs.size:
+            hub_rows, plain_rows = split_hub_edges(source_ids, self.plan.out_degree_hubs)
         else:
             hub_rows = np.empty(0, dtype=np.int64)
             plain_rows = np.arange(dst_ids.shape[0])
@@ -140,39 +211,99 @@ class GNNInferenceProgram(BlockVertexProgram):
         return self.shadow_plan.expand_destinations(dst_ids, payload, counts)
 
     # ------------------------------------------------------------------ #
+    def _compute_state_full(self, context: PartitionContext,
+                            partition: PregelPartition,
+                            incoming: List[MessageBlock], superstep: int) -> np.ndarray:
+        """One full superstep: encode (step 0) or gather + apply_node."""
+        state = partition.block_state["h"]
+        if superstep == 0:
+            if partition.num_nodes:
+                features = Tensor(partition.node_features)
+                state = self.model.encode(features).data
+            else:
+                state = np.zeros((0, self.model.encoder.out_features))
+            context.add_compute(
+                partition.num_nodes * self.model.encoder.in_features
+                * self.model.encoder.out_features)
+            return state
+        layer = self.model.layers[superstep - 1]
+        local_dst, payload, counts = self._assemble_messages(partition, incoming)
+        if payload.shape[1] == 0:
+            payload = np.zeros((0, layer.message_dim))
+        aggr = layer.gather(Tensor(payload), local_dst, partition.num_nodes, counts)
+        new_state = layer.apply_node(Tensor(state), aggr)
+        context.add_compute(gnn_layer_compute_units(
+            num_messages=payload.shape[0], message_dim=layer.message_dim,
+            num_nodes=partition.num_nodes, in_dim=layer.in_dim,
+            out_dim=getattr(layer, "output_dim", layer.out_dim)))
+        return new_state.data
+
+    def _compute_state_incremental(self, context: PartitionContext,
+                                   partition: PregelPartition,
+                                   incoming: List[MessageBlock],
+                                   superstep: int) -> np.ndarray:
+        """Recompute only the frontier rows; splice them into the cached state.
+
+        All matmul stages run at full matrix shape (their recomputed rows are
+        then bit-identical to a fresh full run's), while the incoming message
+        set — and therefore every segment reduction — is already restricted
+        to frontier destinations by the senders.  Rows outside the frontier
+        keep the cached bits, which a fresh run would reproduce exactly.
+        """
+        rows = context.frontier_rows if context.frontier_rows is not None else _EMPTY_ROWS
+        history = partition.block_state["h_history"]
+        if rows.size == 0 or not partition.num_nodes:
+            return history[superstep]
+        if superstep == 0:
+            full = self.model.encode(Tensor(partition.node_features)).data
+            context.add_compute(rows.size * self.model.encoder.in_features
+                                * self.model.encoder.out_features)
+        else:
+            layer = self.model.layers[superstep - 1]
+            local_dst, payload, counts = self._assemble_messages(partition, incoming)
+            if payload.shape[1] == 0:
+                payload = np.zeros((0, layer.message_dim))
+            aggr = layer.gather(Tensor(payload), local_dst, partition.num_nodes, counts)
+            full = layer.apply_node(Tensor(partition.block_state["h"]), aggr).data
+            # Modeled cost: what a production kernel recomputing just the
+            # frontier would pay (the full-shape pass is a bit-exactness
+            # artefact of simulating on BLAS).
+            context.add_compute(gnn_layer_compute_units(
+                num_messages=payload.shape[0], message_dim=layer.message_dim,
+                num_nodes=rows.size, in_dim=layer.in_dim,
+                out_dim=getattr(layer, "output_dim", layer.out_dim)))
+        state = history[superstep].copy()
+        state[rows] = full[rows]
+        return state
+
     def compute_partition(self, context: PartitionContext,
                           incoming: List[MessageBlock]) -> None:
         partition: PregelPartition = context.partition
         superstep = context.superstep
-        state = partition.block_state["h"]
 
         with no_grad():
-            if superstep == 0:
-                if partition.num_nodes:
-                    features = Tensor(partition.node_features)
-                    state = self.model.encode(features).data
-                else:
-                    state = np.zeros((0, self.model.encoder.out_features))
-                context.add_compute(
-                    partition.num_nodes * self.model.encoder.in_features
-                    * self.model.encoder.out_features)
+            if self.incremental:
+                state = self._compute_state_incremental(context, partition,
+                                                        incoming, superstep)
             else:
-                layer = self.model.layers[superstep - 1]
-                local_dst, payload, counts = self._assemble_messages(partition, incoming)
-                if payload.shape[1] == 0:
-                    payload = np.zeros((0, layer.message_dim))
-                aggr = layer.gather(Tensor(payload), local_dst, partition.num_nodes, counts)
-                new_state = layer.apply_node(Tensor(state), aggr)
-                context.add_compute(gnn_layer_compute_units(
-                    num_messages=payload.shape[0], message_dim=layer.message_dim,
-                    num_nodes=partition.num_nodes, in_dim=layer.in_dim,
-                    out_dim=getattr(layer, "output_dim", layer.out_dim)))
-                state = new_state.data
+                state = self._compute_state_full(context, partition, incoming, superstep)
 
             partition.block_state["h"] = state
+            if self.cache_states:
+                partition.block_state["h_history"][superstep] = state
 
             if superstep < self.num_layers:
                 self._scatter_messages(context, partition, state, superstep)
+            elif self.incremental:
+                rows = (context.frontier_rows
+                        if context.frontier_rows is not None else _EMPTY_ROWS)
+                if rows.size and partition.num_nodes:
+                    logits = self.model.predict(Tensor(state)).data
+                    output = partition.block_state["output"].copy()
+                    output[rows] = logits[rows]
+                    partition.block_state["output"] = output
+                    context.add_compute(rows.size * state.shape[1]
+                                        * max(output.shape[1], 1))
             else:
                 logits = self.model.predict(Tensor(state)).data if partition.num_nodes else \
                     np.zeros((0, self.model.output_dim))
@@ -180,12 +311,19 @@ class GNNInferenceProgram(BlockVertexProgram):
                 context.add_compute(partition.num_nodes * state.shape[1] * max(logits.shape[1], 1)
                                     if partition.num_nodes else 0)
 
-        # Peak memory: resident state + features + incoming messages.
+        # Peak memory: resident state + features + incoming messages (+ the
+        # cached superstep states an incremental-capable session keeps warm).
         resident = tensor_bytes(state.shape)
         if partition.node_features is not None:
             resident += float(partition.node_features.nbytes)
         resident += sum(block.nbytes() for block in incoming)
         resident += float(partition.out_src.nbytes + partition.out_dst.nbytes)
+        if self.cache_states:
+            # Earlier supersteps' cached states; the current one is already
+            # counted as the resident state above.
+            resident += sum(float(h.nbytes)
+                            for h in partition.block_state["h_history"][:superstep]
+                            if h is not None)
         context.observe_memory(resident)
 
 
@@ -209,35 +347,25 @@ def build_pregel_engine(working_graph: Graph, config: InferenceConfig,
     return engine
 
 
-def run_pregel_inference(model: GNNModel, graph: Graph, config: InferenceConfig,
-                         plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
-                         metrics: MetricsCollector,
-                         engine: Optional[PregelEngine] = None) -> Dict[str, np.ndarray]:
-    """Execute full-graph inference on the Pregel backend.
+def has_cached_run(partition: PregelPartition, num_layers: int) -> bool:
+    """Whether a partition carries a complete state cache from a full run."""
+    history = partition.block_state.get("h_history")
+    return (history is not None
+            and len(history) == num_layers + 1
+            and all(h is not None for h in history)
+            and partition.block_state.get("output") is not None)
 
-    Returns a dict with ``scores`` [N, C] (original nodes only) and, when
-    requested, ``embeddings`` (the last layer's state before the head).
-    ``engine`` may carry a pre-partitioned engine from a previous ``plan``
-    step; the program's ``setup_partition`` resets all per-run block state, so
-    reuse is safe and repeated runs stay bit-identical.
-    """
-    working_graph = shadow_plan.graph if shadow_plan is not None else graph
-    original_num_nodes = shadow_plan.original_num_nodes if shadow_plan is not None else graph.num_nodes
 
-    program = GNNInferenceProgram(model, plan, shadow_plan)
-    if engine is None:
-        engine = build_pregel_engine(working_graph, config, metrics)
-    else:
-        engine.metrics = metrics
-    model.eval()
-    result = engine.run(program)
-
+def _collect_outputs(partitions: List[PregelPartition], model: GNNModel,
+                     config: InferenceConfig,
+                     original_num_nodes: int) -> Dict[str, np.ndarray]:
+    """Assemble per-partition outputs into dense score/embedding matrices."""
     scores = np.zeros((original_num_nodes, model.output_dim))
     embeddings = None
     if config.collect_embeddings:
         last_width = getattr(model.layers[-1], "output_dim", model.layers[-1].out_dim)
         embeddings = np.zeros((original_num_nodes, last_width))
-    for partition in result.partitions:
+    for partition in partitions:
         output = partition.block_state.get("output")
         if output is None:
             continue
@@ -249,3 +377,90 @@ def run_pregel_inference(model: GNNModel, graph: Graph, config: InferenceConfig,
     if embeddings is not None:
         payload["embeddings"] = embeddings
     return payload
+
+
+def run_pregel_inference(model: GNNModel, graph: Graph, config: InferenceConfig,
+                         plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
+                         metrics: MetricsCollector,
+                         engine: Optional[PregelEngine] = None,
+                         cache_states: bool = False) -> Dict[str, np.ndarray]:
+    """Execute full-graph inference on the Pregel backend.
+
+    Returns a dict with ``scores`` [N, C] (original nodes only) and, when
+    requested, ``embeddings`` (the last layer's state before the head).
+    ``engine`` may carry a pre-partitioned engine from a previous ``plan``
+    step; the program's ``setup_partition`` resets all per-run block state, so
+    reuse is safe and repeated runs stay bit-identical.  ``cache_states``
+    keeps every superstep's state in partition memory, priming the cache
+    incremental runs splice into.
+    """
+    working_graph = shadow_plan.graph if shadow_plan is not None else graph
+    original_num_nodes = shadow_plan.original_num_nodes if shadow_plan is not None else graph.num_nodes
+
+    program = GNNInferenceProgram(model, plan, shadow_plan, cache_states=cache_states)
+    if engine is None:
+        engine = build_pregel_engine(working_graph, config, metrics)
+    else:
+        engine.metrics = metrics
+    model.eval()
+    result = engine.run(program)
+    return _collect_outputs(result.partitions, model, config, original_num_nodes)
+
+
+def run_pregel_inference_incremental(
+        model: GNNModel, graph: Graph, config: InferenceConfig,
+        plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
+        metrics: MetricsCollector, engine: PregelEngine,
+        feature_dirty: np.ndarray,
+        topo_dirty: np.ndarray) -> Optional[Dict[str, np.ndarray]]:
+    """Rerun only the dirty k-hop region against a warm engine.
+
+    ``feature_dirty``/``topo_dirty`` are working-graph node ids (replica-
+    closed) from the session's accumulated deltas.  Returns None when the
+    engine has no complete cached run to splice into (the caller then falls
+    back to a full execution), otherwise the same output dict as
+    :func:`run_pregel_inference` — bit-identical to a fresh full run.
+    """
+    if not all(has_cached_run(p, model.num_layers) for p in engine.partitions):
+        return None
+    working_graph = shadow_plan.graph if shadow_plan is not None else graph
+    original_num_nodes = (shadow_plan.original_num_nodes if shadow_plan is not None
+                          else graph.num_nodes)
+    num_supersteps = model.num_layers + 1
+    frontiers = expand_frontier(working_graph, feature_dirty, topo_dirty,
+                                num_supersteps, shadow_plan)
+
+    # Per-superstep, per-partition local frontier rows (one grouped pass each).
+    layout = engine.layout
+    schedule: List[Dict[int, np.ndarray]] = []
+    for frontier in frontiers:
+        per_partition: Dict[int, np.ndarray] = {}
+        if frontier.size:
+            local = layout.local_indices(frontier)
+            per_partition = {pid: local[rows]
+                             for pid, rows in layout.group_by_owner(frontier)
+                             if rows.size}
+        schedule.append(per_partition)
+
+    # Out-edge rows each partition must still scatter at superstep s: every
+    # edge bound for a superstep-(s+1) frontier destination.  Frontiers are
+    # replica-closed, so testing the pre-expansion destination id suffices;
+    # they are also sorted unique, so membership is one searchsorted pass.
+    edge_rows: Dict[tuple, np.ndarray] = {}
+    for partition in engine.partitions:
+        for superstep in range(model.num_layers):
+            nxt = frontiers[superstep + 1]
+            if nxt.size and partition.out_dst.size:
+                pos = np.minimum(np.searchsorted(nxt, partition.out_dst),
+                                 nxt.size - 1)
+                rows = np.nonzero(nxt[pos] == partition.out_dst)[0]
+            else:
+                rows = _EMPTY_ROWS
+            edge_rows[(partition.partition_id, superstep)] = rows
+
+    program = GNNInferenceProgram(model, plan, shadow_plan, incremental=True,
+                                  edge_rows=edge_rows)
+    engine.metrics = metrics
+    model.eval()
+    result = engine.run(program, frontier=schedule)
+    return _collect_outputs(result.partitions, model, config, original_num_nodes)

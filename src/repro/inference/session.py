@@ -13,6 +13,17 @@
 
 Every strategy is lossless, so every ``infer()`` on a session is bit-identical
 to a fresh one-shot run — the session only removes the repeated planning work.
+
+Serving graphs change between runs, so the session enforces a **staleness
+contract**: the plan fingerprints the graph at :meth:`~InferenceSession.prepare`
+time, every :meth:`~InferenceSession.infer` re-checks it, and an out-of-band
+in-place mutation raises :class:`~repro.inference.delta.StalePlanError`
+instead of silently serving yesterday's scores.  In-band changes travel as a
+:class:`~repro.inference.delta.GraphDelta` through
+:meth:`~InferenceSession.apply_delta`; afterwards
+``infer(mode="incremental")`` recomputes only the delta's k-hop reach on
+backends that support it (bit-identical to a fresh full run), and plain
+``infer()`` runs fully against the patched plan.
 """
 
 from __future__ import annotations
@@ -30,7 +41,16 @@ from repro.graph.graph import Graph
 from repro.graph.tables import EdgeTable, NodeTable, tables_to_graph
 from repro.inference.backends import Backend, ExecutionPlan, get_backend
 from repro.inference.config import InferenceConfig
+from repro.inference.delta import (
+    DeltaOutcome,
+    GraphDelta,
+    StalePlanError,
+    apply_delta_to_graph,
+    graph_fingerprint,
+)
 from repro.inference.strategies import StrategyPlan
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 GraphLike = Union[Graph, tuple]
 
@@ -93,6 +113,10 @@ class InferenceSession:
         session.prepare(graph)            # plan once (ingest, strategies, layout)
         result = session.infer()          # run many times against the cached plan
         nightly = session.infer_many(7)
+
+        # the graph changed? describe it, don't mutate in place:
+        session.apply_delta(GraphDelta(node_ids=ids, node_features=rows))
+        fresh = session.infer(mode="incremental")   # only the dirty k-hop region
         print(session.report().describe())
     """
 
@@ -106,6 +130,13 @@ class InferenceSession:
         self.backend: Backend = get_backend(self.config.backend)
         self._plan: Optional[ExecutionPlan] = None
         self._source: Optional[GraphLike] = None
+        # Working-graph ids dirtied by apply_delta since the last execution;
+        # they seed the next incremental run's frontier.
+        self._feature_dirty: np.ndarray = _EMPTY_IDS
+        self._topo_dirty: np.ndarray = _EMPTY_IDS
+        # True while a batch holds the staleness check it already performed,
+        # so infer_many() fingerprints the graph once, not once per run.
+        self._staleness_checked = False
         # Only the latest result plus running totals are retained, so a
         # long-lived serving session does not accumulate score matrices.
         self._last_result: Optional[InferenceResult] = None
@@ -150,7 +181,10 @@ class InferenceSession:
         cached layout, which is never recomputed per run.
         """
         self._plan = self.backend.plan(self.model, self._ingest(graph), self.config)
+        self._plan.fingerprint = graph_fingerprint(self._plan.graph)
         self._source = graph
+        self._feature_dirty = _EMPTY_IDS
+        self._topo_dirty = _EMPTY_IDS
         return self._plan
 
     def _is_prepared_for(self, graph: GraphLike) -> bool:
@@ -163,30 +197,121 @@ class InferenceSession:
         return self._plan is not None and (graph is self._source
                                            or graph is self._plan.graph)
 
+    def _check_staleness(self, force: bool = False) -> None:
+        """Raise :class:`StalePlanError` if the prepared graph was mutated.
+
+        The fingerprint covers edge arrays and feature buffers; it is updated
+        by :meth:`prepare` and :meth:`apply_delta`, so any mismatch means an
+        out-of-band in-place mutation the plan cannot know about.  ``force``
+        ignores ``config.staleness_check``: :meth:`apply_delta` must never
+        launder a foreign mutation into a fresh fingerprint, even when the
+        per-``infer()`` hot-path check is switched off.
+        """
+        plan = self._plan
+        if plan is None or plan.fingerprint is None:
+            return
+        if not force and (not self.config.staleness_check or self._staleness_checked):
+            return
+        if graph_fingerprint(plan.graph) != plan.fingerprint:
+            raise StalePlanError(
+                "the graph was mutated in place after prepare(); the cached plan "
+                "would serve stale scores.  Describe the change as a GraphDelta "
+                "and call session.apply_delta(delta), or call "
+                "session.prepare(graph) to re-plan from scratch")
+
+    def apply_delta(self, delta: GraphDelta) -> DeltaOutcome:
+        """Fold a :class:`~repro.inference.delta.GraphDelta` into the session.
+
+        Backends exposing an ``apply_delta`` hook (pregel) patch the cached
+        plan in place — feature rows are scattered into the partitions through
+        the cluster layout, shadow mirror copies refreshed, hub thresholds
+        re-checked — and the dirty region accumulates until the next
+        :meth:`infer`.  When the delta invalidates the plan (hub set changed,
+        mirror slices reshuffled) or the backend has no hook (mapreduce,
+        khop), the delta still lands on the graph and the session transparently
+        re-plans — the full-recompute default.  Either way the fingerprint is
+        refreshed, so a following :meth:`infer` serves *current* scores.
+        """
+        if self._plan is None:
+            raise RuntimeError("session is not prepared; call prepare(graph) first")
+        # A delta describes a change to the *prepared* state: if the graph was
+        # already mutated out of band, patching on top would silently absorb
+        # the unknown mutation into a fresh fingerprint — the exact
+        # stale-answer bug this contract exists to prevent.  Fail loudly,
+        # even when the per-infer() check is disabled.
+        self._check_staleness(force=True)
+        if delta.is_empty:
+            return DeltaOutcome(in_place=True)
+        hook = getattr(self.backend, "apply_delta", None)
+        if hook is not None:
+            outcome = hook(self._plan, delta)
+            if outcome.in_place:
+                self._feature_dirty = np.union1d(self._feature_dirty,
+                                                 outcome.feature_dirty)
+                self._topo_dirty = np.union1d(self._topo_dirty, outcome.topo_dirty)
+                self._plan.fingerprint = graph_fingerprint(self._plan.graph)
+                return outcome
+        else:
+            apply_delta_to_graph(self._plan.graph, delta)
+            outcome = DeltaOutcome(in_place=False,
+                                   reason=f"backend {self.backend.name!r} has no "
+                                          "delta hook; re-planned")
+        # Full-recompute default: the delta is already on the graph; rebuild
+        # the plan over it.  Keep the original source object (e.g. the
+        # (NodeTable, EdgeTable) pair this session was prepared from) valid as
+        # an ``infer(source)`` target — re-ingesting it would resurrect the
+        # pre-delta edge arrays.
+        source = self._source
+        self.prepare(self._plan.graph)
+        if source is not None:
+            self._source = source
+        return outcome
+
     def infer(self, graph: Optional[GraphLike] = None,
-              check_memory: bool = False) -> InferenceResult:
+              check_memory: bool = False, mode: str = "full") -> InferenceResult:
         """Execute one inference run against the cached plan.
 
         ``graph`` is only needed on the first call (or to re-target the
         session): passing the graph the session is already prepared for reuses
         the cached plan; passing a different graph re-plans.  The plan
-        snapshots the graph at :meth:`prepare` time — after mutating a graph
-        in place (e.g. refreshing node features), call :meth:`prepare` again
-        to pick up the changes.
+        snapshots the graph at :meth:`prepare` time; in-place mutations must
+        arrive as :meth:`apply_delta` calls — an out-of-band mutation raises
+        :class:`~repro.inference.delta.StalePlanError` here instead of
+        silently serving stale scores.
+
+        ``mode="incremental"`` reruns only the dirty k-hop region accumulated
+        by :meth:`apply_delta` on backends that support it, bit-identical to
+        a full run; it falls back to a full execution when the backend has no
+        incremental hook or no warm state cache yet.
         ``check_memory=True`` makes the cost model raise
         :class:`~repro.cluster.resources.OutOfMemoryError` if any simulated
         instance exceeds its memory budget.
         """
+        if mode not in ("full", "incremental"):
+            raise ValueError(f"mode must be 'full' or 'incremental', got {mode!r}")
         if graph is not None and not self._is_prepared_for(graph):
             self.prepare(graph)
         if self._plan is None:
             raise RuntimeError(
                 "session is not prepared; call prepare(graph) first "
                 "(or pass a graph to infer())")
+        self._check_staleness()
 
         plan = self._plan
         metrics = MetricsCollector()
-        outputs = self.backend.execute(plan, metrics)
+        outputs = None
+        if mode == "incremental":
+            hook = getattr(self.backend, "execute_incremental", None)
+            if hook is not None:
+                outputs = hook(plan, metrics, self._feature_dirty, self._topo_dirty)
+                if outputs is None:
+                    metrics = MetricsCollector()   # discard the aborted attempt
+        if outputs is None:
+            outputs = self.backend.execute(plan, metrics)
+        # Either path leaves the backend's caches describing the current
+        # graph, so the dirty region is consumed.
+        self._feature_dirty = _EMPTY_IDS
+        self._topo_dirty = _EMPTY_IDS
         cost = CostModel(self.config.cluster).summarize(metrics, check_memory=check_memory)
         result = InferenceResult(
             scores=outputs["scores"],
@@ -204,10 +329,25 @@ class InferenceSession:
         return result
 
     def infer_many(self, n: int, check_memory: bool = False) -> List[InferenceResult]:
-        """Run ``n`` repeated executions against the cached plan."""
+        """Run ``n`` repeated executions against the cached plan.
+
+        ``n`` must be a true integer: a float like ``0.5`` used to slip past
+        the positivity guard and silently return an empty list without
+        running anything.
+        """
+        if isinstance(n, bool) or not isinstance(n, (int, np.integer)):
+            raise TypeError(f"n must be an integer number of runs, "
+                            f"got {type(n).__name__} ({n!r})")
         if n <= 0:
             raise ValueError("n must be positive")
-        return [self.infer(check_memory=check_memory) for _ in range(int(n))]
+        # One staleness check covers the whole single-threaded batch: nothing
+        # between iterations can mutate the graph.
+        self._check_staleness()
+        self._staleness_checked = self.is_prepared
+        try:
+            return [self.infer(check_memory=check_memory) for _ in range(int(n))]
+        finally:
+            self._staleness_checked = False
 
     # ------------------------------------------------------------------ #
     def report(self) -> RunReport:

@@ -23,7 +23,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.layout import csr_gather
 from repro.graph.graph import Graph
+from repro.inference.strategies import select_hubs
 
 
 @dataclass
@@ -45,6 +47,8 @@ class ShadowNodePlan:
     replica_ids: Optional[np.ndarray] = None
     #: mirror id -> original node id
     mirror_origin: Dict[int, int] = field(default_factory=dict)
+    #: lazily derived dense working id -> original id table (:attr:`origin_of`).
+    _origin_of: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
     def num_mirrors(self) -> int:
@@ -70,6 +74,47 @@ class ShadowNodePlan:
         return {int(node): self.replica_ids[
                     int(self.replica_indptr[node]):int(self.replica_indptr[node + 1])]
                 for node in replicated}
+
+    @property
+    def origin_of(self) -> np.ndarray:
+        """Dense ``working id -> original id`` table (identity for non-mirrors)."""
+        if self._origin_of is None:
+            size = self.graph.num_nodes
+            origin = np.arange(size, dtype=np.int64)
+            for mirror, orig in self.mirror_origin.items():
+                origin[int(mirror)] = int(orig)
+            self._origin_of = origin
+        return self._origin_of
+
+    def replicas_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Replica closure of ``node_ids``: every id plus all its co-replicas.
+
+        Mirrors map back to their origin first, then the origin's full replica
+        group fans out through the CSR arrays, so the result is closed under
+        "computes the same state as" — the invariant incremental frontiers
+        maintain.  Returns sorted unique working-graph ids.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if self.replica_indptr is None or node_ids.size == 0:
+            return np.unique(node_ids)
+        origins = np.unique(self.origin_of[node_ids])
+        return np.unique(csr_gather(self.replica_indptr, self.replica_ids, origins))
+
+    def refresh_mirror_features(self, base_graph: Graph,
+                                changed_ids: np.ndarray) -> np.ndarray:
+        """Propagate updated feature rows of ``changed_ids`` into the rewrite.
+
+        Mirror features are copies of their origin's row, taken at rewrite
+        time; after a feature delta the copies (and the expanded graph's rows
+        for the originals, which live in a *separate* concatenated buffer)
+        must be refreshed.  Returns every working-graph id whose feature row
+        was touched — the replica closure of ``changed_ids``.
+        """
+        replicas = self.replicas_of(changed_ids)
+        if self.graph is not base_graph and self.graph.node_features is not None:
+            self.graph.node_features[replicas] = \
+                base_graph.node_features[self.origin_of[replicas]]
+        return replicas
 
     # ------------------------------------------------------------------ #
     def expand_destinations(self, dst_ids: np.ndarray, payload: np.ndarray,
@@ -120,12 +165,7 @@ class ShadowNodePlan:
                  reps: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Expand every ``dst_ids[i]`` to its ``reps[i]`` replica ids inline."""
         row_index = np.repeat(np.arange(dst_ids.size, dtype=np.int64), reps)
-        total = int(reps.sum())
-        # Offset of each output slot within its source row's replica run.
-        run_starts = np.cumsum(reps) - reps
-        within = np.arange(total, dtype=np.int64) - np.repeat(run_starts, reps)
-        flat = np.repeat(self.replica_indptr[dst_ids], reps) + within
-        return row_index, self.replica_ids[flat]
+        return row_index, csr_gather(self.replica_indptr, self.replica_ids, dst_ids)
 
 
 def _build_replica_csr(num_nodes: int,
@@ -154,8 +194,10 @@ def apply_shadow_nodes(graph: Graph, threshold: int, num_workers: int,
     """
     if threshold <= 0:
         raise ValueError("threshold must be positive")
-    out_degrees = graph.out_degrees()
-    hubs = np.nonzero(out_degrees > threshold)[0]
+    # Same >= rule as build_strategy_plan, so tie-degree nodes are hubs for
+    # every strategy.  A hub whose degree is exactly the threshold still gets
+    # no mirrors (one out-edge group suffices), but it is *considered* here.
+    hubs = select_hubs(graph.out_degrees(), threshold)
     if hubs.size == 0:
         return ShadowNodePlan(graph=graph, original_num_nodes=graph.num_nodes)
 

@@ -28,12 +28,25 @@ def hub_threshold(total_edges: int, num_workers: int, hub_lambda: float = 0.1,
                   override: Optional[int] = None) -> int:
     """The paper's heuristic: ``threshold = λ · total_edges / total_workers``.
 
-    A node whose (out-)degree exceeds the threshold is treated as a hub by the
-    broadcast and shadow-nodes strategies.  The threshold never drops below 1.
+    A node whose (out-)degree reaches the threshold (``>=``, see
+    :func:`select_hubs`) is treated as a hub by the broadcast and
+    shadow-nodes strategies.  The threshold never drops below 1.
     """
     if override is not None:
         return max(int(override), 1)
     return max(int(hub_lambda * total_edges / max(num_workers, 1)), 1)
+
+
+def select_hubs(out_degrees: np.ndarray, threshold: int) -> np.ndarray:
+    """Node ids whose out-degree reaches the hub threshold (``>=``).
+
+    The single source of truth for "is this node a hub": both the broadcast
+    planning (:func:`build_strategy_plan`) and the shadow-nodes rewrite
+    (:func:`~repro.inference.shadow.apply_shadow_nodes`) call this, so a node
+    whose degree lands exactly on the threshold is treated the same way by
+    every strategy (it used to be broadcast-hub but not shadow-hub).
+    """
+    return np.nonzero(np.asarray(out_degrees) >= threshold)[0].astype(np.int64)
 
 
 @dataclass
@@ -77,8 +90,7 @@ def build_strategy_plan(model: GNNModel, graph: Graph, num_workers: int,
     """
     threshold = hub_threshold(graph.num_edges, num_workers, config.hub_lambda,
                               config.hub_threshold_override)
-    out_degrees = graph.out_degrees()
-    hubs = np.nonzero(out_degrees >= threshold)[0]
+    hubs = select_hubs(graph.out_degrees(), threshold)
 
     layer_strategies: List[LayerStrategy] = []
     for index, layer in enumerate(model.layers):
@@ -139,10 +151,19 @@ class BroadcastMessageBlock(MessageBlock):
         )
 
 
-def split_hub_edges(src_ids: np.ndarray, hub_set: set) -> tuple:
-    """Partition edge positions into (hub-source rows, regular rows)."""
-    if not hub_set:
-        all_rows = np.arange(src_ids.shape[0])
-        return np.empty(0, dtype=np.int64), all_rows
-    is_hub = np.fromiter((int(s) in hub_set for s in src_ids), dtype=bool, count=src_ids.shape[0])
+def split_hub_edges(src_ids: np.ndarray, hubs) -> tuple:
+    """Partition edge positions into (hub-source rows, regular rows).
+
+    ``hubs`` is the plan's sorted ``out_degree_hubs`` array (a ``set`` is
+    still accepted for callers off the hot path).  Membership is one
+    vectorised ``np.isin`` pass — the last per-element Python loop on the
+    scatter path used to live here, testing ``int(s) in hub_set`` per edge.
+    """
+    if isinstance(hubs, (set, frozenset)):
+        hubs = np.fromiter(hubs, dtype=np.int64, count=len(hubs))
+    hubs = np.asarray(hubs, dtype=np.int64)
+    src_ids = np.asarray(src_ids, dtype=np.int64)
+    if hubs.size == 0:
+        return np.empty(0, dtype=np.int64), np.arange(src_ids.shape[0])
+    is_hub = np.isin(src_ids, hubs)
     return np.nonzero(is_hub)[0], np.nonzero(~is_hub)[0]

@@ -146,6 +146,23 @@ class PregelPartition:
         right = np.searchsorted(self._out_sorted_src, vertex_id, side="right")
         return self._out_sorted_dst[left:right]
 
+    def replace_out_edges(self, out_src: np.ndarray, out_dst: np.ndarray,
+                          out_edge_features: Optional[np.ndarray] = None) -> None:
+        """Swap this partition's out-edge arrays after an in-place edge delta.
+
+        Rebuilds the per-vertex CSR view and drops the layout-derived
+        ``out_src_local`` scratch entry so block programs recompute it from
+        the new arrays on their next ``setup_partition``.
+        """
+        self.out_src = np.asarray(out_src, dtype=np.int64)
+        self.out_dst = np.asarray(out_dst, dtype=np.int64)
+        self.out_edge_features = out_edge_features
+        order = np.argsort(self.out_src, kind="stable")
+        self._out_sorted_src = self.out_src[order]
+        self._out_sorted_dst = self.out_dst[order]
+        self._out_sorted_edge_ids = order
+        self.block_state.pop("out_src_local", None)
+
 
 @dataclass
 class PregelResult:
@@ -231,9 +248,21 @@ class PregelEngine:
 
     # ------------------------------------------------------------------ #
     def run(self, program: Union[VertexProgram, BlockVertexProgram],
-            max_supersteps: int = 30) -> PregelResult:
-        """Execute ``program`` until it halts or ``max_supersteps`` is reached."""
+            max_supersteps: int = 30,
+            frontier: Optional[Sequence[Dict[int, np.ndarray]]] = None) -> PregelResult:
+        """Execute ``program`` until it halts or ``max_supersteps`` is reached.
+
+        ``frontier`` restricts supersteps to a dirty-vertex schedule:
+        ``frontier[s]`` maps a partition id to the local row indices whose
+        state superstep ``s`` may recompute (missing partitions are idle that
+        superstep).  The engine only delivers the schedule through
+        ``context.frontier_rows``; the block program decides how to exploit it
+        — this is how incremental inference reruns just the k-hop region a
+        :class:`~repro.inference.delta.GraphDelta` can reach.
+        """
         is_block = isinstance(program, BlockVertexProgram)
+        if frontier is not None and not is_block:
+            raise ValueError("frontier schedules require a block program")
         if is_block:
             max_supersteps = program.max_supersteps()
             for partition in self.partitions:
@@ -260,6 +289,10 @@ class PregelEngine:
                 bytes_in = sum(m.nbytes() for m in incoming)
                 records_in = sum(m.num_records() for m in incoming)
                 context = PartitionContext(partition, superstep, aggregated, self.graph.num_nodes)
+                if frontier is not None and superstep < len(frontier):
+                    context.frontier_rows = frontier[superstep].get(
+                        partition.partition_id,
+                        np.empty(0, dtype=np.int64))
 
                 if is_block:
                     blocks = [m for m in incoming if isinstance(m, MessageBlock)]

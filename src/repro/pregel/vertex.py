@@ -173,6 +173,11 @@ class PartitionContext:
         self.compute_units: float = 0.0
         self.peak_memory_bytes: float = 0.0
         self._halt_votes: List[int] = []
+        #: local row indices this superstep is restricted to, or None for a
+        #: full superstep.  Set by the engine when it runs with a frontier
+        #: schedule (incremental inference); block programs that support
+        #: frontier-restricted supersteps read it in ``compute_partition``.
+        self.frontier_rows: Optional[np.ndarray] = None
 
     # -- state access ---------------------------------------------------- #
     @property

@@ -1,0 +1,469 @@
+"""The staleness contract and incremental delta-inference.
+
+Property-style checks on random power-law graphs: mutating a prepared graph
+out of band must raise :class:`StalePlanError` (never silently serve stale
+scores), and an in-band :class:`GraphDelta` followed by
+``infer(mode="incremental")`` must be *bit-identical* to a fresh full
+``prepare()+infer()`` on the mutated graph — shadow nodes and broadcast
+enabled, on every backend (non-pregel backends take the full-recompute
+default path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.model import build_model
+from repro.graph.generators import powerlaw_graph
+from repro.graph.graph import Graph
+from repro.inference import (
+    GraphDelta,
+    InferenceConfig,
+    InferenceSession,
+    StalePlanError,
+    StrategyConfig,
+    graph_fingerprint,
+)
+from repro.inference.delta import apply_delta_to_graph, expand_frontier
+from repro.inference.shadow import apply_shadow_nodes
+
+
+ALL_ON = dict(partial_gather=True, broadcast=True, shadow_nodes=True,
+              hub_threshold_override=20)
+
+
+def make_graph(seed: int, num_nodes: int = 700) -> Graph:
+    return powerlaw_graph(num_nodes=num_nodes, avg_degree=6.0, skew="out",
+                          feature_dim=8, num_classes=4, seed=seed)
+
+
+def make_config(backend: str = "pregel", **strategy_kwargs) -> InferenceConfig:
+    kwargs = dict(ALL_ON)
+    kwargs.update(strategy_kwargs)
+    return InferenceConfig(backend=backend, num_workers=4,
+                           strategies=StrategyConfig(**kwargs))
+
+
+def make_session(graph: Graph, kind: str = "gcn", **config_kwargs) -> InferenceSession:
+    model = build_model(kind, graph.feature_dim, 16, 4, num_layers=2, seed=0)
+    return InferenceSession(model, make_config(**config_kwargs))
+
+
+def fresh_scores(graph: Graph, kind: str = "gcn", **config_kwargs) -> np.ndarray:
+    session = make_session(graph, kind, **config_kwargs)
+    session.prepare(graph)
+    return session.infer().scores
+
+
+def random_feature_delta(rng: np.random.Generator, graph: Graph,
+                         fraction: float = 0.03) -> GraphDelta:
+    count = max(1, int(graph.num_nodes * fraction))
+    ids = rng.choice(graph.num_nodes, size=count, replace=False)
+    rows = rng.standard_normal((count, graph.feature_dim))
+    return GraphDelta(node_ids=ids, node_features=rows)
+
+
+# --------------------------------------------------------------------------- #
+# staleness detection
+# --------------------------------------------------------------------------- #
+class TestStaleness:
+    @pytest.mark.parametrize("backend", ["pregel", "mapreduce", "khop"])
+    def test_out_of_band_mutation_raises(self, backend):
+        graph = make_graph(seed=1)
+        session = make_session(graph, backend=backend)
+        session.prepare(graph)
+        session.infer()
+        graph.node_features[3, 0] += 1.0
+        with pytest.raises(StalePlanError, match="apply_delta"):
+            session.infer()
+
+    def test_edge_mutation_raises(self):
+        graph = make_graph(seed=2)
+        session = make_session(graph)
+        session.prepare(graph)
+        graph.src = np.concatenate([graph.src, np.array([0])])
+        graph.dst = np.concatenate([graph.dst, np.array([1])])
+        graph.invalidate_adjacency()
+        with pytest.raises(StalePlanError):
+            session.infer()
+
+    def test_exact_restore_serves_again(self):
+        graph = make_graph(seed=3)
+        session = make_session(graph)
+        session.prepare(graph)
+        base = session.infer().scores
+        saved = graph.node_features[5].copy()
+        graph.node_features[5] = 7.0
+        with pytest.raises(StalePlanError):
+            session.infer()
+        graph.node_features[5] = saved
+        np.testing.assert_array_equal(session.infer().scores, base)
+
+    def test_staleness_check_can_be_disabled(self):
+        graph = make_graph(seed=4)
+        model = build_model("gcn", graph.feature_dim, 16, 4, num_layers=2, seed=0)
+        config = make_config()
+        config.staleness_check = False
+        session = InferenceSession(model, config)
+        session.prepare(graph)
+        session.infer()
+        graph.node_features[0, 0] += 1.0
+        session.infer()     # explicitly opted out of the contract
+
+    def test_apply_delta_on_stale_graph_raises(self):
+        # apply_delta must not launder an out-of-band mutation into a fresh
+        # fingerprint: the patch would cover only the delta's rows while the
+        # foreign mutation silently reached some-but-not-all caches.
+        graph = make_graph(seed=6)
+        session = make_session(graph)
+        session.prepare(graph)
+        session.infer()
+        graph.node_features[7] += 5.0     # out of band
+        delta = GraphDelta(node_ids=np.array([3]),
+                           node_features=np.ones((1, graph.feature_dim)))
+        with pytest.raises(StalePlanError):
+            session.apply_delta(delta)
+
+    def test_apply_delta_checks_staleness_even_when_disabled(self):
+        # staleness_check=False only buys back the per-infer() CRC pass;
+        # apply_delta must still refuse to absorb a foreign mutation.
+        graph = make_graph(seed=8)
+        model = build_model("gcn", graph.feature_dim, 16, 4, num_layers=2, seed=0)
+        config = make_config()
+        config.staleness_check = False
+        session = InferenceSession(model, config)
+        session.prepare(graph)
+        session.infer()
+        graph.node_features[7] += 5.0     # out of band
+        with pytest.raises(StalePlanError):
+            session.apply_delta(GraphDelta(node_ids=np.array([3]),
+                                           node_features=np.ones((1, graph.feature_dim))))
+
+    def test_fingerprint_tracks_content(self):
+        graph = make_graph(seed=5)
+        before = graph_fingerprint(graph)
+        assert graph_fingerprint(graph) == before
+        graph.node_features[0, 0] += 1.0
+        assert graph_fingerprint(graph) != before
+
+
+# --------------------------------------------------------------------------- #
+# incremental inference: bit-identity with a fresh full run
+# --------------------------------------------------------------------------- #
+class TestIncrementalFeatureDelta:
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_bit_identical_on_random_powerlaw(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = make_graph(seed=seed)
+        session = make_session(graph)
+        session.prepare(graph)
+        session.infer()
+
+        delta = random_feature_delta(rng, graph)
+        outcome = session.apply_delta(delta)
+        assert outcome.in_place
+        incremental = session.infer(mode="incremental").scores
+
+        reference = make_graph(seed=seed)
+        reference.node_features[delta.node_ids] = delta.node_features
+        np.testing.assert_array_equal(incremental, fresh_scores(reference))
+
+    def test_consecutive_deltas_accumulate(self):
+        rng = np.random.default_rng(7)
+        graph = make_graph(seed=7)
+        reference = make_graph(seed=7)
+        session = make_session(graph)
+        session.prepare(graph)
+        session.infer()
+        for _ in range(3):
+            delta = random_feature_delta(rng, graph, fraction=0.01)
+            session.apply_delta(delta)
+            reference.node_features[delta.node_ids] = delta.node_features
+        incremental = session.infer(mode="incremental").scores
+        np.testing.assert_array_equal(incremental, fresh_scores(reference))
+
+    def test_full_mode_after_delta_is_current(self):
+        rng = np.random.default_rng(9)
+        graph = make_graph(seed=9)
+        session = make_session(graph)
+        session.prepare(graph)
+        session.infer()
+        delta = random_feature_delta(rng, graph)
+        session.apply_delta(delta)
+        full = session.infer().scores      # default full mode, patched plan
+        reference = make_graph(seed=9)
+        reference.node_features[delta.node_ids] = delta.node_features
+        np.testing.assert_array_equal(full, fresh_scores(reference))
+
+    def test_gat_projecting_apply_edge(self):
+        # GAT's apply_edge projects messages, exercising the full-shape
+        # recompute path instead of the identity row-gather fast path.
+        rng = np.random.default_rng(13)
+        graph = make_graph(seed=13, num_nodes=400)
+        session = make_session(graph, kind="gat")
+        session.prepare(graph)
+        session.infer()
+        delta = random_feature_delta(rng, graph)
+        session.apply_delta(delta)
+        incremental = session.infer(mode="incremental").scores
+        reference = make_graph(seed=13, num_nodes=400)
+        reference.node_features[delta.node_ids] = delta.node_features
+        np.testing.assert_array_equal(incremental, fresh_scores(reference, kind="gat"))
+
+    def test_incremental_before_any_full_run_falls_back(self):
+        rng = np.random.default_rng(17)
+        graph = make_graph(seed=17)
+        session = make_session(graph)
+        session.prepare(graph)     # never ran infer(): no warm state cache
+        delta = random_feature_delta(rng, graph)
+        session.apply_delta(delta)
+        scores = session.infer(mode="incremental").scores
+        reference = make_graph(seed=17)
+        reference.node_features[delta.node_ids] = delta.node_features
+        np.testing.assert_array_equal(scores, fresh_scores(reference))
+
+    def test_incremental_without_state_cache_falls_back(self):
+        rng = np.random.default_rng(19)
+        graph = make_graph(seed=19)
+        model = build_model("gcn", graph.feature_dim, 16, 4, num_layers=2, seed=0)
+        config = make_config()
+        config.incremental_state_cache = False
+        session = InferenceSession(model, config)
+        session.prepare(graph)
+        session.infer()
+        delta = random_feature_delta(rng, graph)
+        session.apply_delta(delta)
+        scores = session.infer(mode="incremental").scores
+        reference = make_graph(seed=19)
+        reference.node_features[delta.node_ids] = delta.node_features
+        np.testing.assert_array_equal(scores, fresh_scores(reference))
+
+    def test_incremental_with_no_delta_reproduces_cached_scores(self):
+        graph = make_graph(seed=21)
+        session = make_session(graph)
+        session.prepare(graph)
+        base = session.infer().scores
+        again = session.infer(mode="incremental").scores
+        np.testing.assert_array_equal(again, base)
+
+    def test_incremental_moves_fewer_bytes(self):
+        rng = np.random.default_rng(25)
+        graph = make_graph(seed=25)
+        session = make_session(graph)
+        session.prepare(graph)
+        full = session.infer()
+        session.apply_delta(random_feature_delta(rng, graph, fraction=0.005))
+        incremental = session.infer(mode="incremental")
+        assert incremental.cost.total_bytes < full.cost.total_bytes
+
+    def test_invalid_mode_rejected(self):
+        graph = make_graph(seed=27)
+        session = make_session(graph)
+        session.prepare(graph)
+        with pytest.raises(ValueError, match="mode"):
+            session.infer(mode="partial")
+
+
+# --------------------------------------------------------------------------- #
+# edge deltas
+# --------------------------------------------------------------------------- #
+class TestEdgeDelta:
+    def _reference_graph(self, seed, delta):
+        base = make_graph(seed=seed)
+        apply_delta_to_graph(base, delta)
+        return base
+
+    def test_in_place_edge_delta_bit_identical(self):
+        rng = np.random.default_rng(31)
+        graph = make_graph(seed=31)
+        session = make_session(graph, shadow_nodes=False)
+        session.prepare(graph)
+        session.infer()
+        # Keep the hub set stable: add at most one edge per deep-non-hub
+        # source, and remove edges whose source stays a deep non-hub.
+        threshold = session.plan.strategy_plan.threshold
+        degrees = graph.out_degrees()
+        safe_sources = np.nonzero(degrees < threshold - 3)[0]
+        added_src = rng.choice(safe_sources, size=40, replace=False)
+        removable = np.nonzero(degrees[graph.src] < threshold - 3)[0]
+        delta = GraphDelta(
+            added_src=added_src,
+            added_dst=rng.integers(0, graph.num_nodes, size=40),
+            removed_edge_ids=rng.choice(removable, size=20, replace=False),
+        )
+        outcome = session.apply_delta(delta)
+        assert outcome.in_place
+        incremental = session.infer(mode="incremental").scores
+        reference = self._reference_graph(31, GraphDelta(
+            added_src=delta.added_src, added_dst=delta.added_dst,
+            removed_edge_ids=delta.removed_edge_ids))
+        np.testing.assert_array_equal(incremental,
+                                      fresh_scores(reference, shadow_nodes=False))
+
+    def test_hub_set_change_replans_transparently(self):
+        graph = make_graph(seed=33)
+        session = make_session(graph, shadow_nodes=False)
+        session.prepare(graph)
+        session.infer()
+        # Blast one quiet node far past the hub threshold: the hub set must
+        # change, invalidating the plan.
+        degrees = graph.out_degrees()
+        quiet = int(np.argmin(degrees))
+        added_dst = np.arange(50, dtype=np.int64) % graph.num_nodes
+        delta = GraphDelta(added_src=np.full(50, quiet, dtype=np.int64),
+                           added_dst=added_dst)
+        outcome = session.apply_delta(delta)
+        assert not outcome.in_place and "hub" in outcome.reason
+        scores = session.infer(mode="incremental").scores   # falls back fresh
+        reference = self._reference_graph(33, GraphDelta(
+            added_src=np.full(50, quiet, dtype=np.int64), added_dst=added_dst))
+        np.testing.assert_array_equal(scores,
+                                      fresh_scores(reference, shadow_nodes=False))
+
+    def test_edge_delta_with_shadow_nodes_replans(self):
+        graph = make_graph(seed=35)
+        session = make_session(graph)          # shadow_nodes=True
+        session.prepare(graph)
+        session.infer()
+        delta = GraphDelta(added_src=np.array([0, 1]), added_dst=np.array([2, 3]))
+        outcome = session.apply_delta(delta)
+        assert not outcome.in_place and "mirror" in outcome.reason
+        scores = session.infer().scores
+        reference = self._reference_graph(35, GraphDelta(
+            added_src=np.array([0, 1]), added_dst=np.array([2, 3])))
+        np.testing.assert_array_equal(scores, fresh_scores(reference))
+
+    def test_gat_edge_delta_replans(self):
+        # Projecting apply_edge runs at edge-table shape; changing the edge
+        # count must invalidate rather than risk ulp drift.
+        graph = make_graph(seed=37, num_nodes=300)
+        session = make_session(graph, kind="gat", shadow_nodes=False)
+        session.prepare(graph)
+        session.infer()
+        outcome = session.apply_delta(
+            GraphDelta(added_src=np.array([0]), added_dst=np.array([1])))
+        assert not outcome.in_place and "apply_edge" in outcome.reason
+
+    def test_new_node_rejected(self):
+        graph = make_graph(seed=39)
+        session = make_session(graph)
+        session.prepare(graph)
+        with pytest.raises(ValueError, match="fresh prepare"):
+            session.apply_delta(GraphDelta(
+                added_src=np.array([graph.num_nodes]), added_dst=np.array([0])))
+
+
+# --------------------------------------------------------------------------- #
+# full-recompute default on backends without delta hooks
+# --------------------------------------------------------------------------- #
+class TestFallbackBackends:
+    def test_tables_source_survives_the_replan_path(self):
+        # A session prepared from (NodeTable, EdgeTable) whose delta takes the
+        # full-recompute path must keep serving post-delta scores when called
+        # as infer(tables) — re-ingesting the pair would resurrect the
+        # pre-delta edge arrays.
+        from repro.graph.tables import graph_to_tables
+
+        graph = make_graph(seed=43, num_nodes=300)
+        tables = graph_to_tables(graph)
+        session = make_session(graph, backend="mapreduce")
+        session.prepare(tables)
+        session.infer()
+        delta = GraphDelta(added_src=np.array([2, 3]), added_dst=np.array([0, 1]))
+        outcome = session.apply_delta(delta)
+        assert not outcome.in_place                      # mapreduce: re-plans
+        after = session.infer().scores
+        again = session.infer(tables).scores             # must not re-ingest
+        np.testing.assert_array_equal(again, after)
+
+    @pytest.mark.parametrize("backend", ["mapreduce", "khop"])
+    def test_apply_delta_replans_and_serves_current(self, backend):
+        rng = np.random.default_rng(41)
+        graph = make_graph(seed=41, num_nodes=300)
+        session = make_session(graph, backend=backend)
+        session.prepare(graph)
+        session.infer()
+        delta = random_feature_delta(rng, graph)
+        outcome = session.apply_delta(delta)
+        assert not outcome.in_place
+        scores = session.infer(mode="incremental").scores   # falls back to full
+        reference = make_graph(seed=41, num_nodes=300)
+        reference.node_features[delta.node_ids] = delta.node_features
+        np.testing.assert_array_equal(scores,
+                                      fresh_scores(reference, backend=backend))
+
+
+# --------------------------------------------------------------------------- #
+# delta plumbing
+# --------------------------------------------------------------------------- #
+class TestGraphDelta:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="together"):
+            GraphDelta(node_ids=np.array([1]))
+        with pytest.raises(ValueError, match="together"):
+            GraphDelta(added_src=np.array([1]))
+        with pytest.raises(ValueError, match="duplicates"):
+            GraphDelta(node_ids=np.array([1, 1]), node_features=np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="matrix"):
+            GraphDelta(node_ids=np.array([1]), node_features=np.zeros((2, 3)))
+        assert GraphDelta().is_empty
+        assert "2 feature row" in GraphDelta(node_ids=np.array([1, 2]),
+                                             node_features=np.zeros((2, 3))).describe()
+
+    def test_apply_to_graph_removes_then_appends(self):
+        graph = Graph(src=np.array([0, 1, 2]), dst=np.array([1, 2, 0]),
+                      node_features=np.zeros((3, 2)), num_nodes=3)
+        topo = apply_delta_to_graph(graph, GraphDelta(
+            added_src=np.array([0]), added_dst=np.array([2]),
+            removed_edge_ids=np.array([1])))
+        np.testing.assert_array_equal(graph.src, [0, 2, 0])
+        np.testing.assert_array_equal(graph.dst, [1, 0, 2])
+        np.testing.assert_array_equal(topo, [2])    # both changed dsts
+
+    def test_rejected_delta_leaves_graph_untouched(self):
+        # A combined delta whose edge half is invalid must not land its
+        # feature half: the session's fingerprint would wedge every infer().
+        graph = make_graph(seed=45)
+        session = make_session(graph)
+        session.prepare(graph)
+        base = session.infer().scores
+        bad = GraphDelta(node_ids=np.array([3]),
+                         node_features=np.ones((1, graph.feature_dim)),
+                         removed_edge_ids=np.array([10 ** 9]))
+        with pytest.raises(ValueError, match="removed_edge_ids"):
+            session.apply_delta(bad)
+        np.testing.assert_array_equal(session.infer().scores, base)   # still serves
+
+    def test_bad_edge_feature_width_rejected_before_any_write(self):
+        graph = Graph(src=np.array([0, 1]), dst=np.array([1, 0]),
+                      node_features=np.zeros((2, 2)),
+                      edge_features=np.zeros((2, 4)), num_nodes=2)
+        bad = GraphDelta(node_ids=np.array([0]),
+                         node_features=np.ones((1, 2)),
+                         added_src=np.array([0]), added_dst=np.array([1]),
+                         added_edge_features=np.ones((1, 3)))
+        with pytest.raises(ValueError, match="edge-feature width"):
+            apply_delta_to_graph(graph, bad)
+        np.testing.assert_array_equal(graph.node_features, np.zeros((2, 2)))
+        assert graph.num_edges == 2
+
+    def test_feature_width_mismatch(self):
+        graph = Graph(src=np.array([0]), dst=np.array([1]),
+                      node_features=np.zeros((2, 4)), num_nodes=2)
+        with pytest.raises(ValueError, match="width"):
+            apply_delta_to_graph(graph, GraphDelta(
+                node_ids=np.array([0]), node_features=np.zeros((1, 3))))
+
+    def test_expand_frontier_grows_and_is_replica_closed(self):
+        graph = make_graph(seed=43)
+        plan = apply_shadow_nodes(graph, threshold=20, num_workers=4)
+        seeds = np.array([0, 1], dtype=np.int64)
+        frontiers = expand_frontier(plan.graph, seeds, np.empty(0, np.int64),
+                                    num_supersteps=3, shadow_plan=plan)
+        assert len(frontiers) == 3
+        for earlier, later in zip(frontiers, frontiers[1:]):
+            assert np.isin(earlier, later).all()          # monotone growth
+        for frontier in frontiers:
+            closed = plan.replicas_of(frontier)
+            np.testing.assert_array_equal(frontier, closed)   # replica-closed

@@ -113,6 +113,21 @@ class TestSessionLifecycle:
         with pytest.raises(ValueError):
             session.infer_many(0)
 
+    def test_infer_many_rejects_non_integral_n(self, community):
+        # infer_many(0.5) used to pass the n <= 0 guard and silently return []
+        # without running anything.
+        model = build_model("gcn", community.feature_dim, 8, 4, seed=2)
+        session = InferenceSession(model, InferenceConfig(backend="pregel", num_workers=2))
+        session.prepare(community)
+        with pytest.raises(TypeError, match="integer"):
+            session.infer_many(0.5)
+        with pytest.raises(TypeError, match="integer"):
+            session.infer_many(2.0)
+        with pytest.raises(TypeError, match="integer"):
+            session.infer_many(True)
+        assert session.num_runs == 0
+        assert len(session.infer_many(np.int64(2))) == 2
+
     def test_session_from_signature_and_tables(self, community):
         model = build_model("sage", community.feature_dim, 8, 4, seed=3)
         from_model = InferenceSession(model, InferenceConfig(num_workers=3)).infer(community)

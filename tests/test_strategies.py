@@ -15,6 +15,7 @@ from repro.inference.strategies import (
     BroadcastMessageBlock,
     build_strategy_plan,
     hub_threshold,
+    select_hubs,
     split_hub_edges,
 )
 from repro.pregel.vertex import MessageBlock
@@ -89,6 +90,59 @@ class TestStrategyPlan:
         hub_rows, plain_rows = split_hub_edges(src, set())
         assert hub_rows.size == 0
         assert plain_rows.size == 3
+
+    def test_split_hub_edges_array_matches_set_semantics(self):
+        # The hot path passes the plan's sorted hub array; the vectorised
+        # split must be byte-identical to the old per-element set membership.
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 50, size=500)
+        hubs = np.unique(rng.integers(0, 50, size=7)).astype(np.int64)
+        hub_rows, plain_rows = split_hub_edges(src, hubs)
+        hub_set = set(int(h) for h in hubs)
+        expected = np.fromiter((int(s) in hub_set for s in src), dtype=bool,
+                               count=src.size)
+        np.testing.assert_array_equal(hub_rows, np.nonzero(expected)[0])
+        np.testing.assert_array_equal(plain_rows, np.nonzero(~expected)[0])
+
+
+class TestHubDefinitionUnified:
+    """Regression: a node at exactly the threshold is a hub for *every* strategy."""
+
+    def tie_graph(self, threshold=4):
+        # Node 0 has out-degree exactly `threshold`; node 1 exceeds it.
+        src = np.concatenate([np.zeros(threshold, dtype=np.int64),
+                              np.ones(threshold + 3, dtype=np.int64)])
+        dst = np.arange(2, 2 + src.size, dtype=np.int64)
+        num_nodes = int(dst.max()) + 1
+        return Graph(src=src, dst=dst,
+                     node_features=np.ones((num_nodes, 3)), num_nodes=num_nodes)
+
+    def test_select_hubs_includes_tie_degree(self):
+        degrees = np.array([4, 7, 0, 3])
+        np.testing.assert_array_equal(select_hubs(degrees, 4), [0, 1])
+
+    def test_strategy_plan_and_shadow_agree_on_ties(self, monkeypatch):
+        import repro.inference.shadow as shadow_mod
+        threshold = 4
+        graph = self.tie_graph(threshold)
+        model = build_model("sage", graph.feature_dim, 8, 2)
+        plan = build_strategy_plan(model, graph, 2,
+                                   StrategyConfig(hub_threshold_override=threshold),
+                                   has_edge_features=False)
+        assert 0 in plan.hub_set and 1 in plan.hub_set
+
+        seen = {}
+        real = shadow_mod.select_hubs
+        monkeypatch.setattr(shadow_mod, "select_hubs",
+                            lambda degrees, t: seen.setdefault("hubs", real(degrees, t)))
+        shadow = apply_shadow_nodes(graph, threshold, num_workers=2)
+        # The shadow rewrite considers the same hub set as the strategy plan
+        # (the old `>` scan skipped tie-degree node 0 entirely)...
+        np.testing.assert_array_equal(seen["hubs"], plan.out_degree_hubs)
+        # ...and a tie-degree hub needs no mirrors (one out-edge group), while
+        # the above-threshold hub is still split.
+        assert 0 not in shadow.replica_map
+        assert 1 in shadow.replica_map
 
 
 class TestBroadcastMessageBlock:
