@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import tempfile
 
+from example_utils import scaled
 from repro.datasets import load_dataset
 from repro.gnn import build_model, export_signature, load_signature
 from repro.inference import InferenceConfig, InferenceSession, StrategyConfig
@@ -32,7 +33,8 @@ def main() -> None:
     # Train a 2-layer GAT and ship it through a signature directory.
     model = build_model("gat", dataset.feature_dim, 64, dataset.num_classes,
                         num_layers=2, heads=4, seed=0)
-    trainer = Trainer(model, graph, TrainConfig(num_epochs=3, batch_size=64, fanout=10, seed=0))
+    trainer = Trainer(model, graph, TrainConfig(num_epochs=scaled(3), batch_size=64,
+                                                fanout=10, seed=0))
     trainer.fit(dataset.train_nodes)
 
     with tempfile.TemporaryDirectory() as export_dir:

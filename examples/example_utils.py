@@ -1,0 +1,27 @@
+"""Shared helpers for the runnable examples.
+
+Every example reads ``REPRO_EXAMPLE_SCALE`` (a float in ``(0, 1]``, default
+``1``) through :func:`scaled` so the documented entry points can run in a
+reduced-size smoke mode — ``tests/test_examples_smoke.py`` executes each one
+with a small scale on every CI run, which keeps the examples from rotting.
+
+Run any example full-size as ``PYTHONPATH=src python examples/<name>.py``, or
+quickly as ``REPRO_EXAMPLE_SCALE=0.1 PYTHONPATH=src python examples/<name>.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def example_scale() -> float:
+    """The global size multiplier for example workloads (default 1.0)."""
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"REPRO_EXAMPLE_SCALE must be in (0, 1], got {scale}")
+    return scale
+
+
+def scaled(size: int, minimum: int = 1) -> int:
+    """``size`` shrunk by ``REPRO_EXAMPLE_SCALE``, floored at ``minimum``."""
+    return max(minimum, int(round(size * example_scale())))

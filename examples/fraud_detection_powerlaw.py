@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from example_utils import scaled
 from repro.baselines import TraditionalConfig, TraditionalPipeline
 from repro.datasets import load_dataset
 from repro.gnn import build_model
@@ -29,18 +30,20 @@ from repro.training import TrainConfig, Trainer
 
 def main() -> None:
     # A transaction-network stand-in: heavy-tailed out-degree, 2 classes.
-    dataset = load_dataset("powerlaw", num_nodes=8_000, avg_degree=10.0, skew="out", seed=1)
+    dataset = load_dataset("powerlaw", num_nodes=scaled(8_000, minimum=800),
+                           avg_degree=10.0, skew="out", seed=1)
     graph = dataset.graph
     out_degrees = graph.out_degrees()
     print(f"transaction graph: {graph.num_nodes} accounts, {graph.num_edges} transfers, "
           f"max out-degree {out_degrees.max()} (hub accounts present)")
 
     model = build_model("sage", dataset.feature_dim, 32, dataset.num_classes, num_layers=2, seed=0)
-    trainer = Trainer(model, graph, TrainConfig(num_epochs=4, batch_size=32, fanout=10, seed=0))
+    trainer = Trainer(model, graph, TrainConfig(num_epochs=scaled(4), batch_size=32,
+                                                fanout=10, seed=0))
     trainer.fit(dataset.train_nodes)
 
     # --- The consistency problem of sampled inference ------------------- #
-    audit_nodes = np.arange(512)
+    audit_nodes = np.arange(min(512, graph.num_nodes))
     sampled = TraditionalPipeline(model, TraditionalConfig(num_workers=4, fanout=5))
     runs = []
     for seed in range(3):

@@ -18,6 +18,7 @@ import time
 
 import numpy as np
 
+from example_utils import scaled
 from repro.gnn.model import build_model
 from repro.graph.generators import powerlaw_graph
 from repro.inference import (
@@ -31,8 +32,8 @@ from repro.inference import (
 
 def main() -> None:
     rng = np.random.default_rng(0)
-    graph = powerlaw_graph(num_nodes=8000, avg_degree=5.0, skew="out",
-                           feature_dim=16, num_classes=5, seed=11)
+    graph = powerlaw_graph(num_nodes=scaled(8000, minimum=500), avg_degree=5.0,
+                           skew="out", feature_dim=16, num_classes=5, seed=11)
     model = build_model("gcn", graph.feature_dim, 32, 5, num_layers=2, seed=0)
     config = InferenceConfig(backend="pregel", num_workers=8,
                              strategies=StrategyConfig(partial_gather=True,

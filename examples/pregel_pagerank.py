@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from example_utils import scaled
 from repro.datasets import load_dataset
 from repro.pregel import PregelEngine, SumCombiner, VertexProgram
 
@@ -37,7 +38,8 @@ class PageRank(VertexProgram):
 
 
 def main() -> None:
-    dataset = load_dataset("powerlaw", num_nodes=3_000, avg_degree=8.0, skew="in", seed=2)
+    dataset = load_dataset("powerlaw", num_nodes=scaled(3_000, minimum=300),
+                           avg_degree=8.0, skew="in", seed=2)
     graph = dataset.graph
     engine = PregelEngine(graph, num_workers=8, combiner=SumCombiner())
     result = engine.run(PageRank(num_iterations=20))

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from example_utils import scaled
 from repro.datasets import load_dataset
 from repro.experiments.common import evaluate_scores
 from repro.gnn import build_model, export_signature
@@ -37,7 +38,8 @@ def main() -> None:
     # 2. Mini-batch training over sampled k-hop neighbourhoods ----------- #
     model = build_model("sage", dataset.feature_dim, hidden_dim=64,
                         num_classes=dataset.num_classes, num_layers=2, seed=0)
-    trainer = Trainer(model, graph, TrainConfig(num_epochs=6, batch_size=64, fanout=10, seed=0))
+    trainer = Trainer(model, graph, TrainConfig(num_epochs=scaled(6), batch_size=64,
+                                                fanout=10, seed=0))
     history = trainer.fit(dataset.train_nodes)
     print(f"training: final loss {history.losses[-1]:.3f}  "
           f"train metric {history.train_metric:.3f}")

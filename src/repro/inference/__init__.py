@@ -49,7 +49,22 @@ that safe: mutate a prepared graph out of band and ``infer()`` raises
 :class:`~repro.inference.delta.StalePlanError`; describe the change as a
 :class:`~repro.inference.delta.GraphDelta` through
 ``session.apply_delta(delta)`` and ``infer(mode="incremental")`` recomputes
-just the dirty k-hop region — bit-identical to a fresh full run.
+just the dirty k-hop region — bit-identical to a fresh full run (pregel;
+mapreduce agrees to ~1e-15 via its dependency-closure replay).  Many small
+deltas between ticks coalesce: ``apply_delta(delta, defer=True)`` buffers
+them and the next ``infer()`` applies one merged patch, bit-identical to
+eager application.
+
+For multi-tenant serving — one deployed model scoring many prepared
+graphs — :class:`~repro.inference.pool.SessionPool` keeps one session per
+graph content (fingerprint-keyed, LRU-bounded) so every tenant is planned
+once::
+
+    from repro.inference import SessionPool
+
+    pool = SessionPool(signature, InferenceConfig(backend="pregel"),
+                       capacity=64)
+    scores = pool.infer(tenant_graph).scores      # plan-cache hit after tick 0
 
 :class:`~repro.inference.inferturbo.InferTurbo` remains as a deprecated
 one-shot shim over the session API.
@@ -66,12 +81,14 @@ from repro.inference.backends import (
 )
 from repro.inference.config import InferenceConfig, StrategyConfig
 from repro.inference.delta import (
+    DeltaBuffer,
     DeltaOutcome,
     GraphDelta,
     StalePlanError,
     graph_fingerprint,
 )
 from repro.inference.inferturbo import InferTurbo
+from repro.inference.pool import PoolStats, SessionPool
 from repro.inference.session import InferenceResult, InferenceSession, RunReport
 from repro.inference.strategies import hub_threshold, StrategyPlan, build_strategy_plan
 from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
@@ -80,8 +97,11 @@ __all__ = [
     "InferenceConfig",
     "StrategyConfig",
     "InferenceSession",
+    "SessionPool",
+    "PoolStats",
     "RunReport",
     "GraphDelta",
+    "DeltaBuffer",
     "DeltaOutcome",
     "StalePlanError",
     "graph_fingerprint",

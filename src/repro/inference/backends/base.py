@@ -66,6 +66,13 @@ class ExecutionPlan:
     #: on every ``infer()`` and raises ``StalePlanError`` on out-of-band
     #: mutation instead of serving stale scores.
     fingerprint: Optional[tuple] = None
+    #: set by the session the first time a delta lands on (or is deferred
+    #: against) this plan.  Backends gate their incremental state caches on it
+    #: (``config.incremental_state_cache and plan.delta_seen``), so sessions
+    #: that never see a delta keep pre-delta peak memory; the price is that
+    #: the first post-delta incremental request falls back to one full run,
+    #: which primes the cache.
+    delta_seen: bool = False
 
     @property
     def working_graph(self) -> Graph:
@@ -107,6 +114,13 @@ class Backend(Protocol):
     * ``execute_incremental(plan, metrics, feature_dirty, topo_dirty)`` —
       run one inference restricted to the dirty k-hop region, or return
       ``None`` to make the session fall back to a full ``execute``.
+
+    ``pregel`` implements both hooks (bit-identical incremental runs over a
+    warm partition cache); ``mapreduce`` implements both too — feature deltas
+    patch its cached input records row-wise and incremental runs replay only
+    the dirty region's dependency closure, splicing into cached scores
+    (tolerance-identical, see :mod:`repro.inference.mapreduce_adaptor`);
+    ``khop`` has neither and always takes the full-recompute default.
     """
 
     name: str

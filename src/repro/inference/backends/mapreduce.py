@@ -3,11 +3,21 @@
 Planning ingests the (possibly shadow-expanded) node table into input records
 once; every execution replays the cached records through a fresh engine, so
 repeated ``infer()`` calls skip the per-node table scan.
+
+This backend implements the optional delta hooks of the
+:class:`~repro.inference.backends.base.Backend` protocol for **feature
+deltas**: ``apply_delta`` patches the cached input records row-wise (no
+re-plan, no per-node table rescan), and ``execute_incremental`` replays only
+the delta's dependency closure, splicing the recomputed scores into the
+matrix cached by the last full run (see
+:mod:`repro.inference.mapreduce_adaptor` for the closure construction and the
+tolerance-identity caveat).  Edge deltas re-plan: the records' adjacency
+payloads and the shadow rewrite both depend on edge positions.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -16,12 +26,18 @@ from repro.cluster.resources import ClusterSpec
 from repro.gnn.model import GNNModel
 from repro.graph.graph import Graph
 from repro.inference.config import InferenceConfig
+from repro.inference.delta import DeltaOutcome, GraphDelta, apply_delta_to_graph
 from repro.inference.backends.base import (
     ExecutionPlan,
     plan_gas_execution,
     register_backend,
 )
-from repro.inference.mapreduce_adaptor import build_input_records, run_mapreduce_inference
+from repro.inference.mapreduce_adaptor import (
+    build_input_records,
+    patch_input_records,
+    run_mapreduce_inference,
+    run_mapreduce_inference_incremental,
+)
 
 
 @register_backend("mapreduce")
@@ -40,7 +56,71 @@ class MapReduceBackend:
 
     def execute(self, plan: ExecutionPlan,
                 metrics: MetricsCollector) -> Dict[str, np.ndarray]:
-        return run_mapreduce_inference(plan.model, plan.graph, plan.config,
-                                       plan.strategy_plan, plan.shadow_plan, metrics,
-                                       input_records=plan.state.get("input_records"),
-                                       layout=plan.layout)
+        outputs = run_mapreduce_inference(plan.model, plan.graph, plan.config,
+                                          plan.strategy_plan, plan.shadow_plan, metrics,
+                                          input_records=plan.state.get("input_records"),
+                                          layout=plan.layout)
+        # Lazy incremental cache: the score matrix only stays resident once
+        # the session has seen a delta (mirrors the pregel state cache — the
+        # first post-delta incremental request falls back to this full run,
+        # which primes it).
+        if plan.config.incremental_state_cache and plan.delta_seen:
+            plan.state["scores"] = outputs["scores"].copy()
+        else:
+            plan.state.pop("scores", None)
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # optional delta hooks
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, plan: ExecutionPlan, delta: GraphDelta) -> DeltaOutcome:
+        """Patch the cached input records for feature deltas; else re-plan.
+
+        Feature rows land on the base graph, propagate into shadow-mirror
+        copies through the replica CSR, and are scattered row-wise into the
+        id-indexed record cache — the full-recompute penalty the record scan
+        used to impose is gone.  Edge deltas always invalidate: each record's
+        adjacency payload (and, under shadow nodes, the mirror slicing)
+        depends on edge positions, so the delta lands on the graph and the
+        session re-plans from it.
+        """
+        graph = plan.graph
+        if delta.has_edge_changes:
+            apply_delta_to_graph(graph, delta)
+            return DeltaOutcome(
+                in_place=False,
+                reason="mapreduce patches feature deltas in place; edge deltas "
+                       "change the records' adjacency payloads and re-plan")
+
+        topo_dirty = apply_delta_to_graph(graph, delta)
+        shadow_plan = plan.shadow_plan
+        if shadow_plan is not None and shadow_plan.has_mirrors:
+            feature_dirty = shadow_plan.refresh_mirror_features(graph, delta.node_ids)
+        else:
+            feature_dirty = np.unique(delta.node_ids)
+        records = plan.state.get("input_records")
+        if records is not None and feature_dirty.size:
+            patch_input_records(records, plan.working_graph, feature_dirty)
+        return DeltaOutcome(in_place=True, feature_dirty=feature_dirty,
+                            topo_dirty=topo_dirty)
+
+    def execute_incremental(self, plan: ExecutionPlan, metrics: MetricsCollector,
+                            feature_dirty: np.ndarray,
+                            topo_dirty: np.ndarray) -> Optional[Dict[str, np.ndarray]]:
+        """Replay the dirty closure against cached scores, or None to go full.
+
+        Requires a warm score cache (one full run after the first delta) and a
+        feature-only dirty set; anything else falls back to ``execute``.
+        """
+        if topo_dirty.size or not plan.config.incremental_state_cache:
+            return None
+        cached_scores = plan.state.get("scores")
+        input_records = plan.state.get("input_records")
+        if cached_scores is None or input_records is None:
+            return None
+        outputs = run_mapreduce_inference_incremental(
+            plan.model, plan.graph, plan.config, plan.strategy_plan,
+            plan.shadow_plan, metrics, input_records, cached_scores,
+            feature_dirty, layout=plan.layout)
+        plan.state["scores"] = outputs["scores"].copy()
+        return outputs

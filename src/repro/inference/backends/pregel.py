@@ -57,10 +57,16 @@ class PregelBackend:
 
     def execute(self, plan: ExecutionPlan,
                 metrics: MetricsCollector) -> Dict[str, np.ndarray]:
+        # The per-superstep state cache is lazy: it costs ~(layers+1)x the
+        # node-state memory, so it only arms once the session has actually
+        # seen a delta (plan.delta_seen) — sessions serving an immutable
+        # graph keep pre-delta peak memory.  The first post-delta incremental
+        # request then falls back to one full run, which primes the cache.
+        cache = plan.config.incremental_state_cache and plan.delta_seen
         return run_pregel_inference(plan.model, plan.graph, plan.config,
                                     plan.strategy_plan, plan.shadow_plan, metrics,
                                     engine=plan.state.get("engine"),
-                                    cache_states=plan.config.incremental_state_cache)
+                                    cache_states=cache)
 
     # ------------------------------------------------------------------ #
     # optional delta hooks

@@ -65,11 +65,16 @@ class InferenceConfig:
         checksum pass off the serving hot path.
     incremental_state_cache:
         When True (default) backends that support incremental inference keep
-        every superstep's node state resident between runs, so
-        ``infer(mode="incremental")`` after an ``apply_delta`` recomputes only
-        the dirty k-hop region.  Costs ~(layers+1)x the node-state memory;
-        disable on memory-tight deployments (incremental requests then fall
-        back to full executions).
+        per-run state resident between runs — the pregel backend caches every
+        superstep's node states, the mapreduce backend its last full score
+        matrix — so ``infer(mode="incremental")`` after an ``apply_delta``
+        recomputes only the dirty k-hop region.  The cache is **lazy**: it
+        only starts filling once a session first sees a delta, so sessions
+        serving an immutable graph pay no extra memory at all; the first
+        post-delta incremental request falls back to one full run that primes
+        it.  Costs ~(layers+1)x the node-state memory (pregel) once armed;
+        disable on memory-tight deployments (incremental requests then always
+        fall back to full executions).
     """
 
     backend: str = "pregel"

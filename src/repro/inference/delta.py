@@ -15,7 +15,15 @@ bug of plan-once/infer-many systems.  The contract is now explicit:
   fingerprint) in place where possible and transparently re-plans where not;
 * after a delta, ``session.infer(mode="incremental")`` recomputes only the
   k-hop region the delta can reach (see :func:`expand_frontier`), bit-identical
-  to a fresh full ``prepare()+infer()``.
+  to a fresh full ``prepare()+infer()``;
+* a serving loop applying many small deltas between ticks can *defer* them —
+  ``session.apply_delta(delta, defer=True)`` parks each delta in a
+  :class:`DeltaBuffer`, and the next ``infer()`` (or an explicit
+  ``session.flush_deltas()``) applies **one merged delta**: one scatter into
+  the cached plan and one frontier expansion instead of one per delta.  The
+  merge is exact — the coalesced delta produces byte-identical graph arrays,
+  and therefore bit-identical scores, to applying the same deltas eagerly one
+  by one.
 
 The delta is deliberately columnar — changed feature rows plus added/removed
 edge arrays — so applying it is a handful of vectorised scatters, never a
@@ -134,6 +142,9 @@ class DeltaOutcome:
     nodes enter the frontier at superstep 0, topology-dirty destinations at
     the first gather).  ``in_place=False`` means the delta invalidated the
     plan (e.g. the hub set changed) and the session re-planned from scratch.
+    ``deferred=True`` means the delta was only *buffered*
+    (``apply_delta(..., defer=True)``): nothing has been applied yet, and the
+    real outcome is reported by the flush that folds the buffer into the plan.
     """
 
     in_place: bool
@@ -142,6 +153,151 @@ class DeltaOutcome:
     topo_dirty: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64))
     reason: str = ""
+    deferred: bool = False
+
+
+# --------------------------------------------------------------------------- #
+# delta coalescing
+# --------------------------------------------------------------------------- #
+class DeltaBuffer:
+    """Accumulates deferred :class:`GraphDelta`\\ s and folds them into one.
+
+    A serving loop often receives many small deltas between two inference
+    ticks.  Applying each eagerly costs one plan scatter plus one frontier
+    expansion *per delta*; buffering them and applying one merged delta costs
+    that once per tick.  The merge is **exact**: :meth:`merge` returns a
+    single :class:`GraphDelta` whose application to the buffer's base graph
+    produces byte-identical ``src``/``dst``/feature arrays to applying the
+    buffered deltas sequentially, because
+
+    * feature rows coalesce last-write-wins per node id;
+    * ``removed_edge_ids`` of each delta (positions into the *then-current*
+      edge list) are translated back to base-edge positions, or cancel a
+      previously buffered appended edge when they point past the surviving
+      base edges;
+    * surviving appended edges keep their arrival order, and removal never
+      reorders survivors — exactly the order sequential application builds.
+
+    The buffer validates each delta against the (virtual) graph state it
+    would apply to, so a malformed delta fails at :meth:`add` time rather
+    than poisoning the merged flush.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._base_num_edges = graph.num_edges
+        #: base-edge positions already deleted by a buffered delta.
+        self._removed_base = np.zeros(graph.num_edges, dtype=bool)
+        self._added_src = np.empty(0, dtype=np.int64)
+        self._added_dst = np.empty(0, dtype=np.int64)
+        self._added_edge_features: Optional[np.ndarray] = None
+        self._added_keep = np.empty(0, dtype=bool)
+        self._feature_ids: List[np.ndarray] = []
+        self._feature_rows: List[np.ndarray] = []
+        self._num_deltas = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        return self._num_deltas == 0
+
+    @property
+    def num_pending(self) -> int:
+        """How many deltas have been buffered since the last flush."""
+        return self._num_deltas
+
+    @property
+    def _current_num_edges(self) -> int:
+        """Edge count of the virtual graph state after the buffered deltas."""
+        return (int((~self._removed_base).sum()) + int(self._added_keep.sum()))
+
+    def describe(self) -> str:
+        return (f"{self._num_deltas} pending delta(s): "
+                f"{self.merge().describe() if self._num_deltas else '<empty>'}")
+
+    # ------------------------------------------------------------------ #
+    def add(self, delta: GraphDelta) -> None:
+        """Buffer ``delta`` (validated against the virtual post-buffer state)."""
+        graph = self._graph
+        if delta.has_feature_changes:
+            if graph.node_features is None:
+                raise ValueError("delta carries feature rows but the graph has no features")
+            _check_node_ids(delta.node_ids, graph.num_nodes, "delta.node_ids")
+            if delta.node_features.shape[1] != graph.node_features.shape[1]:
+                raise ValueError(
+                    f"delta feature width {delta.node_features.shape[1]} does not "
+                    f"match graph feature width {graph.node_features.shape[1]}")
+        removing = delta.removed_edge_ids is not None and delta.removed_edge_ids.size > 0
+        adding = delta.added_src is not None and delta.added_src.size > 0
+        if removing:
+            current = self._current_num_edges
+            removed = delta.removed_edge_ids
+            if int(removed.min()) < 0 or int(removed.max()) >= current:
+                raise ValueError(f"removed_edge_ids must lie in [0, {current})")
+        if adding:
+            _check_node_ids(delta.added_src, graph.num_nodes, "delta.added_src")
+            _check_node_ids(delta.added_dst, graph.num_nodes, "delta.added_dst")
+            if graph.edge_features is not None and delta.added_edge_features is None:
+                raise ValueError("graph has edge features; delta must carry "
+                                 "added_edge_features for appended edges")
+            if graph.edge_features is None and delta.added_edge_features is not None:
+                raise ValueError("delta carries edge features but the graph has none")
+            if delta.added_edge_features is not None and (
+                    delta.added_edge_features.ndim != 2
+                    or delta.added_edge_features.shape[1] != graph.edge_features.shape[1]):
+                raise ValueError("added_edge_features width does not match the graph")
+
+        # All validation passed — now mutate the buffer.
+        if removing:
+            # Positions index the virtual edge list: surviving base edges first
+            # (original order), then surviving appended edges (arrival order).
+            survivors_base = np.nonzero(~self._removed_base)[0]
+            removed = delta.removed_edge_ids
+            in_base = removed[removed < survivors_base.size]
+            self._removed_base[survivors_base[in_base]] = True
+            in_added = removed[removed >= survivors_base.size] - survivors_base.size
+            if in_added.size:
+                survivors_added = np.nonzero(self._added_keep)[0]
+                self._added_keep[survivors_added[in_added]] = False
+        if adding:
+            self._added_src = np.concatenate([self._added_src, delta.added_src])
+            self._added_dst = np.concatenate([self._added_dst, delta.added_dst])
+            self._added_keep = np.concatenate(
+                [self._added_keep, np.ones(delta.added_src.size, dtype=bool)])
+            if delta.added_edge_features is not None:
+                if self._added_edge_features is None:
+                    self._added_edge_features = delta.added_edge_features
+                else:
+                    self._added_edge_features = np.concatenate(
+                        [self._added_edge_features, delta.added_edge_features], axis=0)
+        if delta.has_feature_changes:
+            self._feature_ids.append(delta.node_ids)
+            self._feature_rows.append(delta.node_features)
+        self._num_deltas += 1
+
+    def merge(self) -> GraphDelta:
+        """Fold every buffered delta into one equivalent :class:`GraphDelta`."""
+        node_ids = node_features = None
+        if self._feature_ids:
+            ids = np.concatenate(self._feature_ids)[::-1]
+            rows = np.concatenate(self._feature_rows, axis=0)[::-1]
+            # First occurrence in the reversed stream == last write per id.
+            node_ids, first = np.unique(ids, return_index=True)
+            node_features = rows[first]
+        removed = np.nonzero(self._removed_base)[0]
+        added_src = self._added_src[self._added_keep]
+        added_dst = self._added_dst[self._added_keep]
+        added_edge_features = None
+        if self._added_edge_features is not None and added_src.size:
+            added_edge_features = self._added_edge_features[self._added_keep]
+        return GraphDelta(
+            node_ids=node_ids,
+            node_features=node_features,
+            added_src=added_src if added_src.size else None,
+            added_dst=added_dst if added_dst.size else None,
+            added_edge_features=added_edge_features,
+            removed_edge_ids=removed if removed.size else None,
+        )
 
 
 # --------------------------------------------------------------------------- #

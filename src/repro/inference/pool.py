@@ -1,0 +1,283 @@
+"""Multi-tenant serving: one deployed model, many prepared graphs.
+
+The paper's end state is a serving system — one trained model scoring many
+slowly-mutating graphs on a schedule.  :class:`SessionPool` is that tier's
+plan cache: it keeps one :class:`~repro.inference.session.InferenceSession`
+per *graph content* (keyed by
+:func:`~repro.inference.delta.graph_fingerprint`), so N tenant graphs are
+each planned once and every later ``infer()`` reuses the cached plan —
+partition layout, strategy plan, shadow rewrite and backend state included.
+
+Keying by fingerprint makes the cache **content-addressed**: two tenants
+handing in byte-identical graphs share one plan, and a graph that was mutated
+out of band simply misses the cache and is planned afresh (its stale entry
+ages out through the LRU), so the pool can never serve yesterday's plan for
+today's bytes.  Each pooled session is prepared over a **private copy** of
+the tenant's arrays, so the pool never mutates one tenant's buffers on
+another tenant's behalf.  In-band changes go through
+:meth:`SessionPool.apply_delta`, which routes the delta to the owning
+session *and* mirrors it onto the caller's graph — the tenant's handle and
+the cache key always move together to the post-delta fingerprint.
+
+Capacity is bounded: the pool holds at most ``capacity`` prepared sessions
+and evicts the least-recently-used one when a new tenant would exceed it —
+the standard plan-cache shape for a deployment whose tenant count outgrows
+worker memory.
+
+Typical multi-tenant flow::
+
+    pool = SessionPool(signature, InferenceConfig(backend="pregel"),
+                       capacity=64)
+    for tenant_graph in tenants:           # tick 0: one prepare each
+        pool.infer(tenant_graph)
+    for tenant_graph in tenants:           # later ticks: plan-cache hits
+        scores = pool.infer(tenant_graph).scores
+    pool.apply_delta(tenants[0], delta)    # tenant 0 drifted
+    fresh = pool.infer(tenants[0], mode="incremental")
+    print(pool.stats)
+
+The pool is not thread-safe; serve it from one scheduler loop (the async
+tier the ROADMAP names next owns the locking story).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.gnn.model import GNNModel
+from repro.gnn.signature import ModelSignature
+from repro.graph.graph import Graph
+from repro.inference.config import InferenceConfig
+from repro.inference.delta import (
+    DeltaOutcome,
+    GraphDelta,
+    apply_delta_to_graph,
+    graph_fingerprint,
+)
+from repro.inference.session import GraphLike, InferenceResult, InferenceSession
+
+Fingerprint = Tuple[int, int, int]
+
+
+def _private_copy(graph: Graph) -> Graph:
+    """A deep copy of the arrays inference reads — the session's own graph.
+
+    Pooled sessions are content-addressed, so several distinct caller objects
+    can map to one session; preparing over (and later delta-patching) a
+    private copy guarantees the pool never mutates a caller's arrays except
+    through the graph explicitly handed to :meth:`SessionPool.apply_delta`.
+    """
+    return Graph(
+        src=graph.src.copy(),
+        dst=graph.dst.copy(),
+        node_features=None if graph.node_features is None else graph.node_features.copy(),
+        edge_features=None if graph.edge_features is None else graph.edge_features.copy(),
+        labels=None if graph.labels is None else graph.labels.copy(),
+        num_nodes=graph.num_nodes,
+    )
+
+
+@dataclass
+class PoolStats:
+    """Cache counters for one :class:`SessionPool` (cumulative since creation)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.size}/{self.capacity} session(s), "
+                f"{self.hits} hit(s) / {self.misses} miss(es) "
+                f"({100.0 * self.hit_rate:.0f}% hit rate), "
+                f"{self.evictions} eviction(s)")
+
+
+class SessionPool:
+    """An LRU cache of prepared inference sessions for one model.
+
+    Parameters
+    ----------
+    model:
+        A live :class:`~repro.gnn.model.GNNModel` or an exported
+        :class:`~repro.gnn.signature.ModelSignature`.  A signature is built
+        into a model **once**; every pooled session shares that one model
+        object (inference never mutates it), so the pool's memory scales with
+        the graphs, not with ``capacity`` copies of the weights.
+    config:
+        The :class:`~repro.inference.config.InferenceConfig` every session is
+        created with (backend, workers, strategies); defaults to
+        ``InferenceConfig()``.
+    capacity:
+        Maximum number of prepared sessions held at once.  Preparing a graph
+        beyond it evicts the least-recently-used session (its plan is
+        rebuilt on the tenant's next appearance).  Each session owns a
+        private copy of its tenant's graph arrays (isolation between
+        content-equal tenants), so capacity also bounds that memory.
+    """
+
+    def __init__(self, model: Union[GNNModel, ModelSignature],
+                 config: Optional[InferenceConfig] = None,
+                 capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.model = model.build_model() if isinstance(model, ModelSignature) else model
+        self.config = config or InferenceConfig()
+        self.capacity = int(capacity)
+        self._sessions: "OrderedDict[Fingerprint, InferenceSession]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, graph: GraphLike) -> bool:
+        """Whether ``graph`` (by current content) has a prepared session."""
+        return graph_fingerprint(InferenceSession._ingest(graph)) in self._sessions
+
+    def fingerprints(self) -> List[Fingerprint]:
+        """Cached fingerprints, least- to most-recently used."""
+        return list(self._sessions)
+
+    def sessions(self) -> Iterator[InferenceSession]:
+        """The live sessions, least- to most-recently used."""
+        return iter(self._sessions.values())
+
+    @property
+    def stats(self) -> PoolStats:
+        return PoolStats(hits=self._hits, misses=self._misses,
+                         evictions=self._evictions, size=len(self._sessions),
+                         capacity=self.capacity)
+
+    # ------------------------------------------------------------------ #
+    def _lookup(self, graph: GraphLike) -> Tuple[Fingerprint, InferenceSession]:
+        """Get-or-create the session covering ``graph``'s current content."""
+        ingested = InferenceSession._ingest(graph)
+        fingerprint = graph_fingerprint(ingested)
+        session = self._sessions.get(fingerprint)
+        if session is not None:
+            self._hits += 1
+            self._sessions.move_to_end(fingerprint)
+            return fingerprint, session
+        self._misses += 1
+        session = InferenceSession(self.model, self.config)
+        session.prepare(_private_copy(ingested))
+        self._sessions[fingerprint] = session
+        while len(self._sessions) > self.capacity:
+            self._sessions.popitem(last=False)
+            self._evictions += 1
+        return fingerprint, session
+
+    def _rekey(self, fingerprint: Fingerprint,
+               new_fingerprint: Optional[Fingerprint],
+               session: InferenceSession) -> None:
+        """Move ``session`` to ``new_fingerprint`` after its content changed.
+
+        Deltas change the graph content and therefore the fingerprint; the
+        cache key must follow it or the tenant's next lookup would miss.  If
+        another tenant already occupies the new fingerprint (two graphs
+        converged to the same content), the fresher session replaces it —
+        one plan per content.
+        """
+        if new_fingerprint is None or new_fingerprint == fingerprint:
+            return
+        self._sessions.pop(fingerprint, None)
+        if new_fingerprint in self._sessions:
+            self._evictions += 1
+        self._sessions[new_fingerprint] = session
+        self._sessions.move_to_end(new_fingerprint)
+
+    # ------------------------------------------------------------------ #
+    def session_for(self, graph: GraphLike) -> InferenceSession:
+        """The prepared session for ``graph``'s current content (LRU-touched).
+
+        A cache hit returns the existing session without re-planning — the
+        plan-reuse guarantee the pool exists for; a miss prepares a new
+        session (and may evict the least-recently-used one).
+        """
+        return self._lookup(graph)[1]
+
+    def prepare(self, graph: GraphLike) -> InferenceSession:
+        """Warm the cache for ``graph`` without running inference."""
+        return self.session_for(graph)
+
+    def infer(self, graph: GraphLike, mode: str = "full",
+              check_memory: bool = False) -> InferenceResult:
+        """One inference over ``graph`` through its cached (or fresh) plan.
+
+        Pending deferred deltas on the owning session are flushed by the
+        underlying ``infer()`` against the session's private copy; the cache
+        entry was already moved to the post-delta fingerprint when
+        :meth:`apply_delta` mirrored those deltas onto the caller's graph,
+        so the tenant's handle keeps hitting.  (The safety-net re-key here
+        only matters when deltas were applied directly on a session obtained
+        via :meth:`session_for`, bypassing the pool.)
+        """
+        fingerprint, session = self._lookup(graph)
+        try:
+            return session.infer(mode=mode, check_memory=check_memory)
+        finally:
+            new_fingerprint = (session.plan.fingerprint
+                               if session.plan is not None else None)
+            self._rekey(fingerprint, new_fingerprint, session)
+
+    def apply_delta(self, graph: GraphLike, delta: GraphDelta,
+                    defer: bool = False) -> DeltaOutcome:
+        """Route ``delta`` to the session serving ``graph`` and re-key it.
+
+        The lookup happens against the *pre-delta* content (the delta
+        describes a change to the prepared state); the session's private copy
+        is patched (or, with ``defer=True``, buffers the delta for one merged
+        flush at the next ``infer``), the same delta is mirrored onto the
+        **caller's graph** — the tenant's handle is the address, so it must
+        track the content — and the entry moves to the post-delta
+        fingerprint.  A graph not in the pool is prepared first; the delta
+        then lands on that fresh plan.
+
+        Only in-memory :class:`~repro.graph.graph.Graph` tenants can apply
+        deltas through the pool: a ``(NodeTable, EdgeTable)`` pair is
+        re-ingested on every lookup, so there is no caller-side object the
+        delta could be mirrored onto — the next lookup would silently serve
+        the pre-delta content.  Such callers get a ``TypeError`` instead.
+        """
+        if not isinstance(graph, Graph):
+            raise TypeError(
+                "pool.apply_delta requires an in-memory Graph tenant; a "
+                "(NodeTable, EdgeTable) pair is re-ingested per lookup, so a "
+                "delta applied to it would be lost on the next infer().  "
+                "Convert once with tables_to_graph() and hand the Graph in")
+        fingerprint, session = self._lookup(graph)
+        outcome = session.apply_delta(delta, defer=defer)
+        # Mirror onto the caller's handle.  The session already validated the
+        # delta against byte-identical content, so this cannot half-apply.
+        if not delta.is_empty:
+            apply_delta_to_graph(graph, delta)
+        self._rekey(fingerprint, graph_fingerprint(graph), session)
+        return outcome
+
+    def evict(self, graph: GraphLike) -> bool:
+        """Drop the session for ``graph``'s current content; True if present."""
+        fingerprint = graph_fingerprint(InferenceSession._ingest(graph))
+        if self._sessions.pop(fingerprint, None) is None:
+            return False
+        self._evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every cached session (counters keep accumulating)."""
+        self._evictions += len(self._sessions)
+        self._sessions.clear()
+
+    def describe(self) -> str:
+        backend = self.config.backend
+        return f"SessionPool[{backend}]: {self.stats.describe()}"

@@ -42,6 +42,7 @@ from repro.graph.tables import EdgeTable, NodeTable, tables_to_graph
 from repro.inference.backends import Backend, ExecutionPlan, get_backend
 from repro.inference.config import InferenceConfig
 from repro.inference.delta import (
+    DeltaBuffer,
     DeltaOutcome,
     GraphDelta,
     StalePlanError,
@@ -117,7 +118,16 @@ class InferenceSession:
         # the graph changed? describe it, don't mutate in place:
         session.apply_delta(GraphDelta(node_ids=ids, node_features=rows))
         fresh = session.infer(mode="incremental")   # only the dirty k-hop region
+
+        # many small deltas between ticks? defer and coalesce:
+        for delta in deltas:
+            session.apply_delta(delta, defer=True)  # buffered, not applied
+        tick = session.infer()                      # ONE merged patch, then run
         print(session.report().describe())
+
+    Serving many graphs from one model?  Use
+    :class:`~repro.inference.pool.SessionPool`, which caches one prepared
+    session per graph content.
     """
 
     def __init__(self, model: Union[GNNModel, ModelSignature],
@@ -134,6 +144,8 @@ class InferenceSession:
         # they seed the next incremental run's frontier.
         self._feature_dirty: np.ndarray = _EMPTY_IDS
         self._topo_dirty: np.ndarray = _EMPTY_IDS
+        # Deferred deltas (apply_delta(defer=True)) awaiting one merged flush.
+        self._pending: Optional[DeltaBuffer] = None
         # True while a batch holds the staleness check it already performed,
         # so infer_many() fingerprints the graph once, not once per run.
         self._staleness_checked = False
@@ -159,6 +171,11 @@ class InferenceSession:
     def num_runs(self) -> int:
         return self._num_runs
 
+    @property
+    def num_pending_deltas(self) -> int:
+        """Deferred deltas buffered since the last flush (0 when none)."""
+        return 0 if self._pending is None else self._pending.num_pending
+
     # ------------------------------------------------------------------ #
     @staticmethod
     def _ingest(graph: GraphLike) -> Graph:
@@ -179,7 +196,16 @@ class InferenceSession:
         ingest / k-hop pipeline setup).  Subsequent :meth:`infer` /
         :meth:`infer_many` calls reuse the returned plan — including the
         cached layout, which is never recomputed per run.
+
+        Re-planning while deferred deltas are pending would silently discard
+        them, so it raises; call :meth:`flush_deltas` (to apply them) or
+        :meth:`discard_pending_deltas` first.
         """
+        if self._pending is not None and not self._pending.is_empty:
+            raise RuntimeError(
+                f"{self._pending.num_pending} deferred delta(s) are pending; "
+                "call flush_deltas() to apply them or discard_pending_deltas() "
+                "before re-planning")
         self._plan = self.backend.plan(self.model, self._ingest(graph), self.config)
         self._plan.fingerprint = graph_fingerprint(self._plan.graph)
         self._source = graph
@@ -219,18 +245,27 @@ class InferenceSession:
                 "and call session.apply_delta(delta), or call "
                 "session.prepare(graph) to re-plan from scratch")
 
-    def apply_delta(self, delta: GraphDelta) -> DeltaOutcome:
+    def apply_delta(self, delta: GraphDelta, defer: bool = False) -> DeltaOutcome:
         """Fold a :class:`~repro.inference.delta.GraphDelta` into the session.
 
-        Backends exposing an ``apply_delta`` hook (pregel) patch the cached
-        plan in place — feature rows are scattered into the partitions through
-        the cluster layout, shadow mirror copies refreshed, hub thresholds
-        re-checked — and the dirty region accumulates until the next
-        :meth:`infer`.  When the delta invalidates the plan (hub set changed,
-        mirror slices reshuffled) or the backend has no hook (mapreduce,
-        khop), the delta still lands on the graph and the session transparently
-        re-plans — the full-recompute default.  Either way the fingerprint is
-        refreshed, so a following :meth:`infer` serves *current* scores.
+        Backends exposing an ``apply_delta`` hook (pregel, mapreduce) patch
+        the cached plan in place — feature rows are scattered into the
+        partitions / cached input records through the cluster layout, shadow
+        mirror copies refreshed, hub thresholds re-checked — and the dirty
+        region accumulates until the next :meth:`infer`.  When the delta
+        invalidates the plan (hub set changed, mirror slices reshuffled) or
+        the backend has no hook (khop), the delta still lands on the graph
+        and the session transparently re-plans — the full-recompute default.
+        Either way the fingerprint is refreshed, so a following :meth:`infer`
+        serves *current* scores.
+
+        ``defer=True`` buffers the delta instead of applying it: the next
+        :meth:`infer` (or an explicit :meth:`flush_deltas`) folds every
+        buffered delta into **one** merged delta — one plan scatter and one
+        frontier expansion per tick instead of one per delta — with results
+        bit-identical to applying them eagerly one by one.  The returned
+        outcome then has ``deferred=True`` and reports nothing about plan
+        validity; the flush's outcome does.
         """
         if self._plan is None:
             raise RuntimeError("session is not prepared; call prepare(graph) first")
@@ -240,8 +275,59 @@ class InferenceSession:
         # stale-answer bug this contract exists to prevent.  Fail loudly,
         # even when the per-infer() check is disabled.
         self._check_staleness(force=True)
+        if defer:
+            # delta_seen stays unarmed until the flush actually applies
+            # something: a discarded or fully-cancelled buffer must not make
+            # the session start paying for incremental state caches.
+            buffer = self._pending or DeltaBuffer(self._plan.graph)
+            # add() validates before mutating, so a rejected delta leaves an
+            # existing buffer consistent — and a fresh buffer is only
+            # committed to the session after its first successful add, or a
+            # failed first defer would pin an empty buffer to a stale
+            # edge-list snapshot.
+            buffer.add(delta)
+            self._pending = buffer
+            return DeltaOutcome(
+                in_place=True, deferred=True,
+                reason=f"buffered ({self._pending.num_pending} pending); "
+                       "applied at the next infer()/flush_deltas()")
+        if self._pending is not None and not self._pending.is_empty:
+            # An eager delta describes the state *after* the buffered ones:
+            # preserve sequence semantics by flushing them first.
+            self.flush_deltas()
         if delta.is_empty:
             return DeltaOutcome(in_place=True)
+        return self._apply_delta_now(delta)
+
+    def flush_deltas(self) -> DeltaOutcome:
+        """Apply every deferred delta as one merged delta (no-op when none).
+
+        Called automatically at the start of :meth:`infer`, so a serving loop
+        only needs it to control *when* the plan patch happens (e.g. off the
+        request path).
+        """
+        buffer, self._pending = self._pending, None
+        if buffer is None or buffer.is_empty:
+            return DeltaOutcome(in_place=True, reason="no pending deltas")
+        # The buffered deltas describe changes to the *prepared* state; if the
+        # graph was mutated out of band since they were deferred, applying the
+        # merged delta would launder that mutation into a fresh fingerprint —
+        # the same loud failure the eager path enforces.
+        self._check_staleness(force=True)
+        merged = buffer.merge()
+        if merged.is_empty:
+            # Deltas can cancel out (every append later removed); nothing to do.
+            return DeltaOutcome(in_place=True, reason="pending deltas cancelled out")
+        return self._apply_delta_now(merged)
+
+    def discard_pending_deltas(self) -> int:
+        """Drop the deferred-delta buffer; returns how many deltas it held."""
+        buffer, self._pending = self._pending, None
+        return 0 if buffer is None else buffer.num_pending
+
+    def _apply_delta_now(self, delta: GraphDelta) -> DeltaOutcome:
+        """Eagerly fold a (possibly merged) delta into the plan or re-plan."""
+        self._plan.delta_seen = True
         hook = getattr(self.backend, "apply_delta", None)
         if hook is not None:
             outcome = hook(self._plan, delta)
@@ -263,6 +349,7 @@ class InferenceSession:
         # pre-delta edge arrays.
         source = self._source
         self.prepare(self._plan.graph)
+        self._plan.delta_seen = True     # the session serves a drifting graph
         if source is not None:
             self._source = source
         return outcome
@@ -282,7 +369,13 @@ class InferenceSession:
         ``mode="incremental"`` reruns only the dirty k-hop region accumulated
         by :meth:`apply_delta` on backends that support it, bit-identical to
         a full run; it falls back to a full execution when the backend has no
-        incremental hook or no warm state cache yet.
+        incremental hook or no warm state cache yet.  The per-superstep state
+        cache incremental runs splice into is **lazy**: it only starts filling
+        once the session has seen a delta (see
+        :attr:`InferenceConfig.incremental_state_cache`), so the first
+        post-delta incremental request is served by one full run that primes
+        it.  Deltas buffered with ``apply_delta(..., defer=True)`` are flushed
+        (one merged application) before the run.
         ``check_memory=True`` makes the cost model raise
         :class:`~repro.cluster.resources.OutOfMemoryError` if any simulated
         instance exceeds its memory budget.
@@ -295,6 +388,8 @@ class InferenceSession:
             raise RuntimeError(
                 "session is not prepared; call prepare(graph) first "
                 "(or pass a graph to infer())")
+        if self._pending is not None and not self._pending.is_empty:
+            self.flush_deltas()
         self._check_staleness()
 
         plan = self._plan

@@ -1,0 +1,292 @@
+"""Deferred-delta coalescing: merged application ≡ eager application.
+
+The contract under test: ``apply_delta(..., defer=True)`` buffers deltas and
+the next ``infer()`` / ``flush_deltas()`` applies **one merged delta**, whose
+resulting graph arrays — and therefore scores — are *byte/bit-identical* to
+applying the same deltas eagerly one by one.  Property-tested on random
+power-law graphs with mixed feature/edge deltas, overlapping feature writes
+(last-write-wins) and removals that cancel earlier appends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.model import build_model
+from repro.graph.generators import powerlaw_graph
+from repro.inference import (
+    DeltaBuffer,
+    GraphDelta,
+    InferenceConfig,
+    InferenceSession,
+    StalePlanError,
+    StrategyConfig,
+)
+from repro.inference.delta import apply_delta_to_graph
+
+
+def make_graph(seed: int, num_nodes: int = 500):
+    return powerlaw_graph(num_nodes=num_nodes, avg_degree=6.0, skew="out",
+                          feature_dim=8, num_classes=4, seed=seed)
+
+
+def make_config(backend: str = "pregel", **strategy_kwargs) -> InferenceConfig:
+    kwargs = dict(partial_gather=True, broadcast=True, shadow_nodes=True,
+                  hub_threshold_override=20)
+    kwargs.update(strategy_kwargs)
+    return InferenceConfig(backend=backend, num_workers=4,
+                           strategies=StrategyConfig(**kwargs))
+
+
+def make_session(backend: str = "pregel", **strategy_kwargs) -> InferenceSession:
+    model = build_model("gcn", 8, 16, 4, num_layers=2, seed=0)
+    return InferenceSession(model, make_config(backend, **strategy_kwargs))
+
+
+def random_mixed_delta(rng: np.random.Generator, num_nodes: int,
+                       current_num_edges: int, features: bool = True,
+                       edges: bool = True) -> GraphDelta:
+    kwargs = {}
+    if features:
+        count = int(rng.integers(1, 12))
+        kwargs["node_ids"] = rng.choice(num_nodes, size=count, replace=False)
+        kwargs["node_features"] = rng.standard_normal((count, 8))
+    if edges:
+        add = int(rng.integers(0, 5))
+        if add:
+            kwargs["added_src"] = rng.integers(0, num_nodes, size=add)
+            kwargs["added_dst"] = rng.integers(0, num_nodes, size=add)
+        remove = int(rng.integers(0, 4))
+        if remove and current_num_edges > remove:
+            kwargs["removed_edge_ids"] = rng.choice(current_num_edges, size=remove,
+                                                    replace=False)
+    return GraphDelta(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# buffer-level exactness
+# --------------------------------------------------------------------------- #
+class TestDeltaBufferMerge:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_merged_graph_arrays_byte_identical_to_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        merged_graph = make_graph(seed)
+        sequential_graph = make_graph(seed)
+        buffer = DeltaBuffer(merged_graph)
+        current_edges = sequential_graph.num_edges
+        for _ in range(6):
+            delta = random_mixed_delta(rng, merged_graph.num_nodes, current_edges)
+            buffer.add(delta)
+            apply_delta_to_graph(sequential_graph, GraphDelta(
+                node_ids=delta.node_ids, node_features=delta.node_features,
+                added_src=delta.added_src, added_dst=delta.added_dst,
+                removed_edge_ids=delta.removed_edge_ids))
+            current_edges = sequential_graph.num_edges
+        apply_delta_to_graph(merged_graph, buffer.merge())
+        np.testing.assert_array_equal(merged_graph.src, sequential_graph.src)
+        np.testing.assert_array_equal(merged_graph.dst, sequential_graph.dst)
+        np.testing.assert_array_equal(merged_graph.node_features,
+                                      sequential_graph.node_features)
+
+    def test_last_feature_write_wins(self):
+        graph = make_graph(5)
+        buffer = DeltaBuffer(graph)
+        buffer.add(GraphDelta(node_ids=np.array([3, 7]),
+                              node_features=np.ones((2, 8))))
+        buffer.add(GraphDelta(node_ids=np.array([7, 9]),
+                              node_features=np.full((2, 8), 2.0)))
+        merged = buffer.merge()
+        np.testing.assert_array_equal(merged.node_ids, [3, 7, 9])
+        np.testing.assert_array_equal(merged.node_features[1], np.full(8, 2.0))
+
+    def test_removal_cancels_buffered_append(self):
+        graph = make_graph(6)
+        base_edges = graph.num_edges
+        buffer = DeltaBuffer(graph)
+        buffer.add(GraphDelta(added_src=np.array([0, 1]), added_dst=np.array([2, 3])))
+        # Virtual edge list = base edges then the two appends; remove the
+        # first appended edge by its virtual position.
+        buffer.add(GraphDelta(removed_edge_ids=np.array([base_edges])))
+        merged = buffer.merge()
+        assert merged.removed_edge_ids is None
+        np.testing.assert_array_equal(merged.added_src, [1])
+        np.testing.assert_array_equal(merged.added_dst, [3])
+
+    def test_cancelling_deltas_merge_to_empty(self):
+        graph = make_graph(7)
+        buffer = DeltaBuffer(graph)
+        buffer.add(GraphDelta(added_src=np.array([0]), added_dst=np.array([1])))
+        buffer.add(GraphDelta(removed_edge_ids=np.array([graph.num_edges])))
+        assert buffer.merge().is_empty and not buffer.is_empty
+
+    def test_add_validates_against_virtual_state(self):
+        graph = make_graph(8)
+        buffer = DeltaBuffer(graph)
+        with pytest.raises(ValueError, match="removed_edge_ids"):
+            buffer.add(GraphDelta(removed_edge_ids=np.array([graph.num_edges])))
+        buffer.add(GraphDelta(added_src=np.array([0]), added_dst=np.array([1])))
+        buffer.add(GraphDelta(removed_edge_ids=np.array([graph.num_edges])))  # now valid
+        with pytest.raises(ValueError, match="width"):
+            buffer.add(GraphDelta(node_ids=np.array([0]),
+                                  node_features=np.zeros((1, 3))))
+        with pytest.raises(ValueError, match="outside"):
+            buffer.add(GraphDelta(added_src=np.array([graph.num_nodes]),
+                                  added_dst=np.array([0])))
+
+
+# --------------------------------------------------------------------------- #
+# session-level bit-identity: deferred flush vs eager application
+# --------------------------------------------------------------------------- #
+class TestDeferredSessions:
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_deferred_scores_bit_identical_to_eager(self, seed):
+        rng_a, rng_b = np.random.default_rng(seed), np.random.default_rng(seed)
+        deferred = make_session()
+        eager = make_session()
+        graph_a, graph_b = make_graph(seed), make_graph(seed)
+        deferred.prepare(graph_a)
+        deferred.infer()
+        eager.prepare(graph_b)
+        eager.infer()
+        for _ in range(4):
+            delta_a = random_mixed_delta(rng_a, graph_a.num_nodes,
+                                         graph_a.num_edges, edges=False)
+            delta_b = random_mixed_delta(rng_b, graph_b.num_nodes,
+                                         graph_b.num_edges, edges=False)
+            deferred.apply_delta(delta_a, defer=True)
+            eager.apply_delta(delta_b)
+        assert deferred.num_pending_deltas == 4
+        incremental = deferred.infer(mode="incremental").scores
+        assert deferred.num_pending_deltas == 0
+        np.testing.assert_array_equal(incremental,
+                                      eager.infer(mode="incremental").scores)
+
+    def test_deferred_edge_deltas_match_eager(self):
+        # Edge deltas with shadow nodes re-plan on flush; the merged re-plan
+        # must land the same graph state the eager path reaches step by step.
+        rng = np.random.default_rng(31)
+        deferred = make_session()
+        eager = make_session()
+        graph_a, graph_b = make_graph(31), make_graph(31)
+        deferred.prepare(graph_a)
+        eager.prepare(graph_b)
+        for _ in range(3):
+            # One delta fed to both paths: its removal positions index the
+            # eager graph's live edge list, which is exactly the deferred
+            # buffer's virtual edge list at the same point in the sequence.
+            delta = random_mixed_delta(rng, graph_b.num_nodes, graph_b.num_edges)
+            deferred.apply_delta(delta, defer=True)
+            eager.apply_delta(delta)
+        np.testing.assert_array_equal(deferred.infer().scores,
+                                      eager.infer().scores)
+        np.testing.assert_array_equal(graph_a.src, graph_b.src)
+
+    def test_explicit_flush(self):
+        session = make_session()
+        graph = make_graph(33)
+        session.prepare(graph)
+        session.infer()
+        session.apply_delta(GraphDelta(node_ids=np.array([1]),
+                                       node_features=np.ones((1, 8))), defer=True)
+        outcome = session.flush_deltas()
+        assert outcome.in_place and not outcome.deferred
+        assert session.num_pending_deltas == 0
+        assert session.flush_deltas().reason == "no pending deltas"
+
+    def test_eager_apply_flushes_pending_first(self):
+        # Sequence semantics: an eager delta describes the state *after* the
+        # buffered ones; both writes to node 1 must land in order.
+        session = make_session()
+        graph = make_graph(35)
+        session.prepare(graph)
+        session.apply_delta(GraphDelta(node_ids=np.array([1]),
+                                       node_features=np.full((1, 8), 5.0)),
+                            defer=True)
+        session.apply_delta(GraphDelta(node_ids=np.array([1]),
+                                       node_features=np.full((1, 8), 9.0)))
+        assert session.num_pending_deltas == 0
+        np.testing.assert_array_equal(graph.node_features[1], np.full(8, 9.0))
+
+    def test_prepare_refuses_while_pending(self):
+        session = make_session()
+        graph = make_graph(37)
+        session.prepare(graph)
+        session.apply_delta(GraphDelta(node_ids=np.array([1]),
+                                       node_features=np.ones((1, 8))), defer=True)
+        with pytest.raises(RuntimeError, match="deferred delta"):
+            session.prepare(graph)
+        assert session.discard_pending_deltas() == 1
+        session.prepare(graph)                     # fine after discarding
+
+    def test_defer_on_stale_graph_still_raises(self):
+        session = make_session()
+        graph = make_graph(39)
+        session.prepare(graph)
+        graph.node_features[0] += 1.0              # out of band
+        with pytest.raises(StalePlanError):
+            session.apply_delta(GraphDelta(node_ids=np.array([1]),
+                                           node_features=np.ones((1, 8))),
+                                defer=True)
+
+    def test_flush_detects_mutation_after_defer(self):
+        # The flush must not launder an out-of-band mutation made *after* the
+        # deltas were deferred: applying the merged delta would refresh the
+        # fingerprint over the foreign change and serve wrong scores.
+        session = make_session()
+        graph = make_graph(41)
+        session.prepare(graph)
+        session.infer()
+        session.apply_delta(GraphDelta(node_ids=np.array([1]),
+                                       node_features=np.ones((1, 8))), defer=True)
+        graph.node_features[7] += 100.0            # out of band, post-defer
+        with pytest.raises(StalePlanError):
+            session.infer()
+        # The buffer was consumed; recovery via re-plan works.
+        assert session.num_pending_deltas == 0
+        session.prepare(graph)
+        session.infer()
+
+    def test_failed_first_defer_leaves_no_stale_buffer(self):
+        # A rejected first deferred delta must not pin an empty buffer to the
+        # current edge-list snapshot: a later eager edge delta would shift
+        # positions underneath it and corrupt the next deferred removal.
+        session = make_session(shadow_nodes=False)
+        graph = make_graph(43)
+        session.prepare(graph)
+        with pytest.raises(ValueError, match="width"):
+            session.apply_delta(GraphDelta(node_ids=np.array([0]),
+                                           node_features=np.zeros((1, 3))),
+                                defer=True)
+        assert session.num_pending_deltas == 0
+        # Grow the graph eagerly, then defer a removal of the last (just
+        # appended) edge — a position only valid against the *current* edge
+        # list.  A stale buffer snapshotted before the append would either
+        # reject the position or translate it onto the wrong edge.
+        session.apply_delta(GraphDelta(added_src=np.array([0, 1]),
+                                       added_dst=np.array([2, 3])))
+        expected_src = graph.src[:-1].copy()       # everything but the 1->3 append
+        expected_dst = graph.dst[:-1].copy()
+        session.apply_delta(
+            GraphDelta(removed_edge_ids=np.array([graph.num_edges - 1])),
+            defer=True)
+        session.flush_deltas()
+        np.testing.assert_array_equal(graph.src, expected_src)
+        np.testing.assert_array_equal(graph.dst, expected_dst)
+
+    def test_deferred_mapreduce_matches_eager(self):
+        rng_a, rng_b = np.random.default_rng(43), np.random.default_rng(43)
+        deferred = make_session(backend="mapreduce")
+        eager = make_session(backend="mapreduce")
+        graph_a, graph_b = make_graph(43, num_nodes=300), make_graph(43, num_nodes=300)
+        deferred.prepare(graph_a)
+        deferred.infer()
+        eager.prepare(graph_b)
+        eager.infer()
+        for _ in range(3):
+            delta_a = random_mixed_delta(rng_a, 300, graph_a.num_edges, edges=False)
+            delta_b = random_mixed_delta(rng_b, 300, graph_b.num_edges, edges=False)
+            deferred.apply_delta(delta_a, defer=True)
+            eager.apply_delta(delta_b)
+        np.testing.assert_array_equal(deferred.infer().scores,
+                                      eager.infer().scores)

@@ -253,9 +253,37 @@ class TestIncrementalFeatureDelta:
         session = make_session(graph)
         session.prepare(graph)
         full = session.infer()
+        # The state cache is lazy: the first post-delta run primes it (full
+        # cost), later incrementals ride it.
+        session.apply_delta(random_feature_delta(rng, graph, fraction=0.005))
+        priming = session.infer(mode="incremental")
+        assert priming.cost.total_bytes >= full.cost.total_bytes * 0.99
         session.apply_delta(random_feature_delta(rng, graph, fraction=0.005))
         incremental = session.infer(mode="incremental")
         assert incremental.cost.total_bytes < full.cost.total_bytes
+
+    def test_state_cache_lazy_until_first_delta(self):
+        # A session that never sees a delta must not pay the per-superstep
+        # state cache (the pre-delta peak-memory behaviour); the cache arms on
+        # the first apply_delta and fills on the next full-shaped run.
+        from repro.inference.pregel_adaptor import has_cached_run
+
+        rng = np.random.default_rng(29)
+        graph = make_graph(seed=29)
+        session = make_session(graph)
+        session.prepare(graph)
+        no_delta_run = session.infer()
+        engine = session.plan.state["engine"]
+        assert not any(has_cached_run(p, session.model.num_layers)
+                       for p in engine.partitions)
+        session.apply_delta(random_feature_delta(rng, graph, fraction=0.01))
+        delta_run = session.infer()            # full run, now caching
+        assert all(has_cached_run(p, session.model.num_layers)
+                   for p in engine.partitions)
+        # Modeled worker memory reflects the cache: armed runs are heavier.
+        peak = lambda result: max(m.peak_memory_bytes
+                                  for m in result.metrics.instances())
+        assert peak(delta_run) > peak(no_delta_run)
 
     def test_invalid_mode_rejected(self):
         graph = make_graph(seed=27)
@@ -377,11 +405,11 @@ class TestFallbackBackends:
         again = session.infer(tables).scores             # must not re-ingest
         np.testing.assert_array_equal(again, after)
 
-    @pytest.mark.parametrize("backend", ["mapreduce", "khop"])
-    def test_apply_delta_replans_and_serves_current(self, backend):
+    def test_khop_apply_delta_replans_and_serves_current(self):
+        # khop has no delta hooks at all: always the full-recompute default.
         rng = np.random.default_rng(41)
         graph = make_graph(seed=41, num_nodes=300)
-        session = make_session(graph, backend=backend)
+        session = make_session(graph, backend="khop")
         session.prepare(graph)
         session.infer()
         delta = random_feature_delta(rng, graph)
@@ -391,7 +419,42 @@ class TestFallbackBackends:
         reference = make_graph(seed=41, num_nodes=300)
         reference.node_features[delta.node_ids] = delta.node_features
         np.testing.assert_array_equal(scores,
-                                      fresh_scores(reference, backend=backend))
+                                      fresh_scores(reference, backend="khop"))
+
+    def test_mapreduce_feature_delta_patches_in_place(self):
+        # mapreduce now has delta hooks: feature deltas patch the cached
+        # input records row-wise (no re-plan); full infer() serves current
+        # scores bit-identical to a fresh prepare()+infer().
+        rng = np.random.default_rng(42)
+        graph = make_graph(seed=42, num_nodes=300)
+        session = make_session(graph, backend="mapreduce")
+        session.prepare(graph)
+        session.infer()
+        records_before = session.plan.state["input_records"]
+        delta = random_feature_delta(rng, graph)
+        outcome = session.apply_delta(delta)
+        assert outcome.in_place
+        assert session.plan.state["input_records"] is records_before  # no re-plan
+        scores = session.infer().scores
+        reference = make_graph(seed=42, num_nodes=300)
+        reference.node_features[delta.node_ids] = delta.node_features
+        np.testing.assert_array_equal(scores,
+                                      fresh_scores(reference, backend="mapreduce"))
+
+    def test_mapreduce_edge_delta_still_replans(self):
+        graph = make_graph(seed=44, num_nodes=300)
+        session = make_session(graph, backend="mapreduce")
+        session.prepare(graph)
+        session.infer()
+        outcome = session.apply_delta(
+            GraphDelta(added_src=np.array([2, 3]), added_dst=np.array([0, 1])))
+        assert not outcome.in_place and "edge" in outcome.reason
+        after = session.infer().scores
+        reference = make_graph(seed=44, num_nodes=300)
+        apply_delta_to_graph(reference, GraphDelta(
+            added_src=np.array([2, 3]), added_dst=np.array([0, 1])))
+        np.testing.assert_array_equal(after,
+                                      fresh_scores(reference, backend="mapreduce"))
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,85 @@
+"""Docs stay true: intra-repo links resolve, README quickstart blocks run.
+
+Two failure modes this guards against:
+
+* a file move breaking ``[text](path)`` links in ``README.md`` / ``docs/``;
+* the README's Python quickstart blocks drifting from the real API.
+
+The Python blocks are executed **sequentially in one namespace** (later
+blocks intentionally build on the quickstart's ``session``/``graph``), so
+the README reads as one continuous, runnable story.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def _markdown_links(path: Path):
+    """All link targets in ``path``, with code fences masked out."""
+    inside_fence = False
+    for line in path.read_text().splitlines():
+        if _FENCE.match(line):
+            inside_fence = not inside_fence
+            continue
+        if inside_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield match.group(1)
+
+
+def _python_blocks(path: Path):
+    blocks, current, language = [], None, None
+    for line in path.read_text().splitlines():
+        fence = _FENCE.match(line)
+        if fence:
+            if current is None:
+                language, current = fence.group(1), []
+            else:
+                if language == "python":
+                    blocks.append("\n".join(current))
+                current, language = None, None
+            continue
+        if current is not None:
+            current.append(line)
+    return blocks
+
+
+def test_doc_files_exist():
+    assert (REPO_ROOT / "README.md").is_file(), "top-level README.md missing"
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_links_resolve(doc: Path):
+    broken = []
+    for target in _markdown_links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue                      # pure in-page anchor
+        if not (doc.parent / relative).exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken intra-repo link(s): {broken}"
+
+
+def test_readme_python_blocks_execute():
+    blocks = _python_blocks(REPO_ROOT / "README.md")
+    assert len(blocks) >= 3, "README lost its runnable quickstart blocks"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"README.md[python block {index}]", "exec"),
+                 namespace)
+        except Exception as error:       # pragma: no cover - failure reporting
+            pytest.fail(f"README python block {index} failed: {error!r}\n{block}")

@@ -1,0 +1,258 @@
+"""The multi-tenant :class:`SessionPool`: plan cache, LRU eviction, deltas.
+
+One deployed model serves many prepared graphs; the pool keys sessions by
+:func:`graph_fingerprint` so a tenant's second ``infer()`` must hit the plan
+cache (no re-prepare — asserted with a backend spy), evicts least-recently
+used beyond capacity, and re-keys entries after deltas so drifting tenants
+keep hitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn import export_signature
+from repro.gnn.model import build_model
+from repro.graph.generators import powerlaw_graph
+from repro.graph.tables import graph_to_tables
+from repro.inference import (
+    GraphDelta,
+    InferenceConfig,
+    InferenceSession,
+    SessionPool,
+    StrategyConfig,
+    graph_fingerprint,
+)
+
+
+def make_graph(seed: int, num_nodes: int = 400):
+    return powerlaw_graph(num_nodes=num_nodes, avg_degree=5.0, skew="out",
+                          feature_dim=8, num_classes=4, seed=seed)
+
+
+def make_config() -> InferenceConfig:
+    return InferenceConfig(backend="pregel", num_workers=4,
+                           strategies=StrategyConfig(partial_gather=True,
+                                                     broadcast=True,
+                                                     shadow_nodes=True,
+                                                     hub_threshold_override=20))
+
+
+def make_model():
+    return build_model("gcn", 8, 16, 4, num_layers=2, seed=0)
+
+
+class _PlanCounter:
+    """Delegating spy counting backend plan() calls across pooled sessions."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.plan_calls = 0
+
+    def default_cluster(self, num_workers):
+        return self._inner.default_cluster(num_workers)
+
+    def plan(self, model, graph, config):
+        self.plan_calls += 1
+        return self._inner.plan(model, graph, config)
+
+    def execute(self, plan, metrics):
+        return self._inner.execute(plan, metrics)
+
+    def apply_delta(self, plan, delta):
+        return self._inner.apply_delta(plan, delta)
+
+    def execute_incremental(self, plan, metrics, feature_dirty, topo_dirty):
+        return self._inner.execute_incremental(plan, metrics,
+                                               feature_dirty, topo_dirty)
+
+
+def _spy_on(pool: SessionPool, session: InferenceSession) -> _PlanCounter:
+    spy = _PlanCounter(session.backend)
+    session.backend = spy
+    return spy
+
+
+class TestPlanCache:
+    def test_second_infer_per_graph_hits_plan_cache(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graphs = [make_graph(seed) for seed in (1, 2, 3)]
+        spies = []
+        for graph in graphs:
+            session = pool.session_for(graph)
+            spies.append(_spy_on(pool, session))
+        first = [pool.infer(graph).scores for graph in graphs]
+        second = [pool.infer(graph).scores for graph in graphs]
+        assert all(spy.plan_calls == 0 for spy in spies), "second tick re-planned"
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+        stats = pool.stats
+        assert stats.misses == 3 and stats.hits == 6 and stats.evictions == 0
+
+    def test_pool_scores_match_dedicated_sessions(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        for seed in (5, 6):
+            graph = make_graph(seed)
+            pooled = pool.infer(graph).scores
+            solo = InferenceSession(make_model(), make_config())
+            solo.prepare(make_graph(seed))
+            np.testing.assert_array_equal(pooled, solo.infer().scores)
+
+    def test_identical_content_shares_one_plan(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        a, b = make_graph(7), make_graph(7)     # equal content, distinct objects
+        assert pool.session_for(a) is pool.session_for(b)
+        assert len(pool) == 1 and pool.stats.hits == 1
+
+    def test_signature_built_once_and_shared(self):
+        signature = export_signature(make_model())
+        pool = SessionPool(signature, make_config(), capacity=4)
+        s1 = pool.session_for(make_graph(8))
+        s2 = pool.session_for(make_graph(9))
+        assert s1.model is s2.model is pool.model
+
+    def test_tables_pairs_are_content_addressed(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graph = make_graph(10)
+        tables = graph_to_tables(graph)
+        pool.infer(tables)
+        pool.infer(tables)
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+
+
+class TestEviction:
+    def test_lru_eviction_beyond_capacity(self):
+        pool = SessionPool(make_model(), make_config(), capacity=2)
+        g1, g2, g3 = make_graph(11), make_graph(12), make_graph(13)
+        s1 = pool.session_for(g1)
+        pool.session_for(g2)
+        pool.session_for(g1)            # touch g1: g2 becomes LRU
+        pool.session_for(g3)            # evicts g2
+        assert len(pool) == 2 and pool.stats.evictions == 1
+        assert g1 in pool and g3 in pool and g2 not in pool
+        assert pool.session_for(g1) is s1          # survived untouched
+        pool.session_for(g2)                       # re-prepared on return
+        assert pool.stats.misses == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SessionPool(make_model(), make_config(), capacity=0)
+
+    def test_evict_and_clear(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graph = make_graph(14)
+        pool.session_for(graph)
+        assert pool.evict(graph) and not pool.evict(graph)
+        pool.session_for(graph)
+        pool.clear()
+        assert len(pool) == 0 and pool.stats.evictions == 2
+
+
+class TestDeltaRouting:
+    def test_apply_delta_rekeys_entry(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graph = make_graph(15)
+        pool.infer(graph)
+        old_fingerprint = graph_fingerprint(graph)
+        rng = np.random.default_rng(0)
+        ids = rng.choice(graph.num_nodes, size=10, replace=False)
+        outcome = pool.apply_delta(graph, GraphDelta(
+            node_ids=ids, node_features=rng.standard_normal((10, 8))))
+        assert outcome.in_place
+        # The delta mutated the graph; the entry must follow the content.
+        assert graph_fingerprint(graph) != old_fingerprint
+        assert graph in pool and old_fingerprint not in pool.fingerprints()
+        pool.infer(graph, mode="incremental")
+        assert pool.stats.misses == 1              # never re-prepared
+
+    def test_pool_delta_scores_match_fresh_plan(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graph = make_graph(16)
+        pool.infer(graph)
+        rng = np.random.default_rng(1)
+        ids = rng.choice(graph.num_nodes, size=10, replace=False)
+        rows = rng.standard_normal((10, 8))
+        pool.apply_delta(graph, GraphDelta(node_ids=ids, node_features=rows))
+        pooled = pool.infer(graph, mode="incremental").scores
+        reference = make_graph(16)
+        reference.node_features[ids] = rows
+        solo = InferenceSession(make_model(), make_config())
+        solo.prepare(reference)
+        np.testing.assert_array_equal(pooled, solo.infer().scores)
+
+    def test_deferred_delta_tracks_key_and_flushes_at_infer(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graph = make_graph(17)
+        pool.infer(graph)
+        fingerprint_before = graph_fingerprint(graph)
+        session = pool.session_for(graph)
+        outcome = pool.apply_delta(graph, GraphDelta(
+            node_ids=np.array([3]), node_features=np.ones((1, 8))), defer=True)
+        assert outcome.deferred
+        # The caller's handle mirrors the delta eagerly (the key must track
+        # the content); the session's plan patch is what is deferred.
+        assert graph_fingerprint(graph) != fingerprint_before
+        assert session.num_pending_deltas == 1
+        pool.infer(graph)                          # hit; flushes the buffer
+        assert session.num_pending_deltas == 0
+        assert graph in pool
+        assert pool.stats.misses == 1              # never re-prepared
+
+    def test_content_equal_tenants_are_isolated(self):
+        # Two tenants with byte-identical graphs share one plan, but a delta
+        # from tenant B must never mutate tenant A's arrays (the pooled
+        # session owns a private copy), and A keeps being served its own
+        # (pre-delta) content.
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        tenant_a, tenant_b = make_graph(19), make_graph(19)
+        scores_before = pool.infer(tenant_a).scores
+        assert pool.session_for(tenant_b) is pool.session_for(tenant_a)
+        a_features = tenant_a.node_features.copy()
+        rng = np.random.default_rng(3)
+        ids = rng.choice(tenant_b.num_nodes, size=10, replace=False)
+        pool.apply_delta(tenant_b, GraphDelta(
+            node_ids=ids, node_features=rng.standard_normal((10, 8))))
+        np.testing.assert_array_equal(tenant_a.node_features, a_features)
+        np.testing.assert_array_equal(pool.infer(tenant_a).scores, scores_before)
+        # B's handle diverged with the delta and keeps hitting its session.
+        hits_before = pool.stats.hits
+        pool.infer(tenant_b, mode="incremental")
+        assert pool.stats.hits == hits_before + 1
+
+    def test_apply_delta_rejects_tables_tenants(self):
+        # A (NodeTable, EdgeTable) pair is re-ingested per lookup; a delta
+        # could not be mirrored onto the caller's object and would be lost.
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        tables = graph_to_tables(make_graph(20))
+        pool.infer(tables)
+        with pytest.raises(TypeError, match="tables_to_graph"):
+            pool.apply_delta(tables, GraphDelta(node_ids=np.array([1]),
+                                                node_features=np.ones((1, 8))))
+
+    def test_discarded_deferred_deltas_do_not_arm_state_cache(self):
+        session = InferenceSession(make_model(), make_config())
+        graph = make_graph(21)
+        session.prepare(graph)
+        session.apply_delta(GraphDelta(node_ids=np.array([1]),
+                                       node_features=np.ones((1, 8))), defer=True)
+        assert not session.plan.delta_seen         # nothing applied yet
+        session.discard_pending_deltas()
+        session.infer()
+        assert not session.plan.delta_seen
+        from repro.inference.pregel_adaptor import has_cached_run
+        engine = session.plan.state["engine"]
+        assert not any(has_cached_run(p, session.model.num_layers)
+                       for p in engine.partitions)
+
+    def test_out_of_band_mutation_misses_instead_of_serving_stale(self):
+        # Content addressing: a foreign in-place mutation changes the key, so
+        # the pool plans the new content instead of serving the stale plan.
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graph = make_graph(18)
+        before = pool.infer(graph).scores
+        graph.node_features[0] += 1.0
+        after = pool.infer(graph).scores
+        assert pool.stats.misses == 2 and len(pool) == 2
+        assert not np.array_equal(before, after)
