@@ -8,19 +8,97 @@ vectorised per-instance ``reduce_partition``.  Every mapper/reducer instance
 records records/bytes/compute/spill counters into the shared
 :class:`~repro.cluster.metrics.MetricsCollector` so the cost model can price
 the run on an arbitrary cluster spec.
+
+Each mapper/reducer instance is one unit of work routed through the engine's
+:class:`~repro.cluster.executor.Executor`: the serial executor runs them
+in-process in instance order (the historical behaviour, bit for bit), the
+process executor fans every instance of a wave out to one OS process each —
+the job object and its record split travel as pickled numpy bundles, and the
+per-instance counters (including real measured wall seconds) come back with
+the outputs.  The shuffle stays in the coordinator: mappers return their
+per-reducer buckets, the engine appends them to the (possibly spilling)
+:class:`~repro.batch.storage.RecordStore`\\ s in mapper order, which is
+exactly the record order the sequential loop produced.
+
+Under the process executor the engine protects itself against both pitfalls
+of shipping the shuffle: a job or partition function that cannot pickle
+degrades to an in-process round, and the salted-``hash`` *default* partition
+function is only shipped when every worker provably agrees on the hash seed
+(fork start method, or a pinned ``PYTHONHASHSEED``) — otherwise the mappers
+return raw output and the coordinator buckets it, so placement is always
+consistent.  A *custom* partition function is shipped as-is and must be
+deterministic across processes (the GNN round jobs use an explicit modulo
+function, placement-stable everywhere).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import functools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.batch.storage import RecordStore, serialized_size
+from repro.cluster.executor import Executor, build_executor
 from repro.cluster.metrics import MetricsCollector
 
 Record = Tuple[Any, Any]
+
+
+def _default_partition_fn(key: Any, num_reducers: int) -> int:
+    """Default shuffle placement (module-level so it pickles to workers)."""
+    return hash(key) % num_reducers
+
+
+_PICKLABLE_CACHE: Dict[type, bool] = {}
+
+
+def _is_picklable(value: Any) -> bool:
+    """Whether ``value`` can ship to a process-executor worker.
+
+    Job objects are probed once per concrete class and cached: the probe
+    fully serialises the object (a GNN round job carries the model weights)
+    and picklability is a property of the class there.  Plain functions are
+    probed per object — a module-level function and a lambda share one type
+    but not one verdict — which is cheap since functions pickle by reference.
+    """
+    import pickle
+    import types
+
+    if isinstance(value, (types.FunctionType, types.BuiltinFunctionType,
+                          types.MethodType, functools.partial)):
+        try:
+            pickle.dumps(value)
+            return True
+        except Exception:
+            return False
+    cached = _PICKLABLE_CACHE.get(type(value))
+    if cached is not None:
+        return cached
+    try:
+        pickle.dumps(value)
+        verdict = True
+    except Exception:
+        verdict = False
+    _PICKLABLE_CACHE[type(value)] = verdict
+    return verdict
+
+
+def _hash_is_process_stable(executor: Executor) -> bool:
+    """Whether Python's salted ``hash()`` agrees across this executor's workers.
+
+    ``fork`` children inherit the parent's hash seed; ``spawn``/``forkserver``
+    workers only agree when ``PYTHONHASHSEED`` pins it explicitly.  Shipping a
+    ``hash()``-based partition function across disagreeing workers would place
+    the same key on different reducers — silently wrong output, not an error.
+    """
+    if executor.start_method == "fork":
+        return True
+    seed = os.environ.get("PYTHONHASHSEED", "")
+    return seed not in ("", "random")
 
 
 class TaskContext:
@@ -91,8 +169,141 @@ class MapReduceStats:
     shuffle_bytes: float
 
 
+@dataclass
+class _MapTaskResult:
+    """One mapper instance's output: per-reducer buckets plus its counters.
+
+    ``per_reducer`` is ``None`` when the task ran without a shipped partition
+    function (see :meth:`MapReduceEngine.run`); ``emitted`` then carries the
+    raw mapper output for the coordinator to bucket.
+    """
+
+    per_reducer: Optional[List[List[Record]]]
+    emitted: Optional[List[Record]] = None
+    compute_units: float = 0.0
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    records_in: int = 0
+    records_out: int = 0
+    peak_memory_bytes: float = 0.0
+    measured_seconds: float = 0.0
+
+
+@dataclass
+class _ReduceTaskResult:
+    """One reducer instance's output records plus its counters."""
+
+    outputs: List[Record] = field(default_factory=list)
+    compute_units: float = 0.0
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    records_in: int = 0
+    records_out: int = 0
+    peak_memory_bytes: float = 0.0
+    measured_seconds: float = 0.0
+
+
+def _run_map_task(job: MapReduceJob, split: List[Record], mapper_id: int,
+                  map_phase: str, num_reducers: int,
+                  partition_fn: Optional[Callable[[Any, int], int]]) -> _MapTaskResult:
+    """One mapper instance: map → combine → bucket by reducer (module-level
+    so the process executor can ship it).
+
+    With ``partition_fn=None`` the bucketing (and its ``bytes_out``
+    accounting) is left to the coordinator — the escape hatch for partition
+    functions that cannot cross a process boundary.
+    """
+    started = time.perf_counter()
+    context = TaskContext(map_phase, mapper_id)
+    bytes_in = sum(serialized_size(record) for record in split)
+    if job.uses_partition_map:
+        emitted = list(job.map_partition(split, context))
+    else:
+        emitted = []
+        for key, value in split:
+            emitted.extend(job.map(key, value, context))
+    if job.has_combiner:
+        grouped: Dict[Any, List[Any]] = {}
+        order: List[Any] = []
+        for key, value in emitted:
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(value)
+        combined: List[Record] = []
+        for key in order:
+            combined.extend(job.combine(key, grouped[key], context))
+        emitted = combined
+    if partition_fn is None:
+        return _MapTaskResult(
+            per_reducer=None, emitted=emitted,
+            compute_units=context.compute_units,
+            bytes_in=bytes_in,
+            records_in=len(split), records_out=len(emitted),
+            peak_memory_bytes=context.peak_memory_bytes,
+            measured_seconds=time.perf_counter() - started,
+        )
+    per_reducer: List[List[Record]] = [[] for _ in range(num_reducers)]
+    bytes_out = 0.0
+    for key, value in emitted:
+        bucket = partition_fn(key, num_reducers)
+        record = (key, value)
+        per_reducer[bucket].append(record)
+        bytes_out += serialized_size(record)
+    return _MapTaskResult(
+        per_reducer=per_reducer,
+        compute_units=context.compute_units,
+        bytes_in=bytes_in, bytes_out=bytes_out,
+        records_in=len(split), records_out=len(emitted),
+        peak_memory_bytes=context.peak_memory_bytes,
+        measured_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_reduce_task(job: MapReduceJob, records: List[Record], reducer_id: int,
+                     reduce_phase: str) -> _ReduceTaskResult:
+    """One reducer instance: group by key → reduce (module-level, ships)."""
+    started = time.perf_counter()
+    context = TaskContext(reduce_phase, reducer_id)
+    grouped: Dict[Any, List[Any]] = {}
+    order: List[Any] = []
+    bytes_in = 0.0
+    records_in = 0
+    for key, value in records:
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(value)
+        bytes_in += serialized_size((key, value))
+        records_in += 1
+    groups = [(key, grouped[key]) for key in order]
+    if job.uses_partition_reduce:
+        emitted = list(job.reduce_partition(groups, context))
+    else:
+        emitted = []
+        for key, values in groups:
+            emitted.extend(job.reduce(key, values, context))
+    bytes_out = sum(serialized_size(record) for record in emitted)
+    return _ReduceTaskResult(
+        outputs=emitted,
+        compute_units=context.compute_units,
+        bytes_in=bytes_in, bytes_out=bytes_out,
+        records_in=records_in, records_out=len(emitted),
+        peak_memory_bytes=context.peak_memory_bytes,
+        measured_seconds=time.perf_counter() - started,
+    )
+
+
 class MapReduceEngine:
-    """In-process MapReduce executor with per-instance accounting."""
+    """MapReduce executor with per-instance accounting.
+
+    ``executor`` selects the worker substrate (an
+    :class:`~repro.cluster.executor.Executor` instance, a registry name, or
+    ``None`` for the ``$REPRO_EXECUTOR`` default): every mapper and reducer
+    instance of a round runs as one executor task.  A shared executor can be
+    passed in so a serving session reuses one persistent process pool across
+    rounds and runs (the mapreduce inference backend does this).
+    """
 
     def __init__(
         self,
@@ -101,6 +312,7 @@ class MapReduceEngine:
         metrics: Optional[MetricsCollector] = None,
         spill_to_disk: bool = False,
         partition_fn: Optional[Callable[[Any, int], int]] = None,
+        executor: Union[Executor, str, None] = None,
     ) -> None:
         if num_mappers <= 0 or num_reducers <= 0:
             raise ValueError("num_mappers and num_reducers must be positive")
@@ -108,7 +320,48 @@ class MapReduceEngine:
         self.num_reducers = int(num_reducers)
         self.metrics = metrics or MetricsCollector()
         self.spill_to_disk = spill_to_disk
-        self._partition_fn = partition_fn or (lambda key, n: hash(key) % n)
+        self._partition_fn = partition_fn or _default_partition_fn
+        if isinstance(executor, Executor):
+            self._executor: Optional[Executor] = executor
+            self._owns_executor = False
+            self.executor_name: Optional[str] = executor.name
+        else:
+            self._executor = None
+            self._owns_executor = True
+            self.executor_name = executor
+
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self) -> Executor:
+        """The lazily built executor mapper/reducer instances run through."""
+        if self._executor is None:
+            self._executor = build_executor(
+                self.executor_name, max(self.num_mappers, self.num_reducers))
+            self.executor_name = self._executor.name
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Release the executor's workers (no-op for a borrowed executor)."""
+        if self._executor is not None and self._owns_executor:
+            self._executor.shutdown()
+            self._executor = None
+
+    def _effective_executor(self, job: MapReduceJob) -> Executor:
+        """The executor this round actually runs on.
+
+        A job that cannot cross a process boundary (e.g. a locally defined
+        test class) degrades gracefully to an in-process round with identical
+        results instead of failing — process execution is a speed substrate,
+        never a correctness requirement.  Every job in this repository is
+        module-level and ships fine.
+        """
+        executor = self.executor
+        if executor.is_in_process or _is_picklable(job):
+            return executor
+        if not hasattr(self, "_serial_fallback"):
+            self._serial_fallback = build_executor(
+                "serial", max(self.num_mappers, self.num_reducers))
+        return self._serial_fallback
 
     # ------------------------------------------------------------------ #
     def _split_input(self, records: Sequence[Record]) -> List[List[Record]]:
@@ -124,88 +377,85 @@ class MapReduceEngine:
     # ------------------------------------------------------------------ #
     def run(self, job: MapReduceJob, input_records: Sequence[Record],
             phase: str = "mapreduce") -> Tuple[List[Record], MapReduceStats]:
-        """Run one full map → shuffle → reduce round and return reducer output."""
+        """Run one full map → shuffle → reduce round and return reducer output.
+
+        Both sides fan out through the executor; only the shuffle itself —
+        appending each mapper's buckets to the reducer record stores, in
+        mapper order — runs in the coordinator, which keeps record order (and
+        therefore results) identical across executors.
+        """
         map_phase = f"{phase}/map"
         reduce_phase = f"{phase}/reduce"
+        executor = self._effective_executor(job)
         splits = self._split_input(input_records)
+
+        # A partition function that cannot cross the process boundary (a
+        # test's lambda) — or whose placement would not be *stable* across
+        # workers (the salted-hash default under spawn without a pinned
+        # PYTHONHASHSEED) — keeps working: the mappers return their raw
+        # output and the coordinator buckets it — identical placement,
+        # identical record order, the bucketing pass just runs here instead.
+        if executor.is_in_process:
+            ship_partition_fn = True
+        elif self._partition_fn is _default_partition_fn:
+            ship_partition_fn = _hash_is_process_stable(executor)
+        else:
+            ship_partition_fn = _is_picklable(self._partition_fn)
+        shipped_fn = self._partition_fn if ship_partition_fn else None
 
         # ------------------------- map side ---------------------------- #
         shuffle_buckets: List[RecordStore] = [
             RecordStore(spill_to_disk=self.spill_to_disk) for _ in range(self.num_reducers)
         ]
         map_output_records = 0
-        for mapper_id, split in enumerate(splits):
-            context = TaskContext(map_phase, mapper_id)
-            bytes_in = sum(serialized_size(record) for record in split)
-            if job.uses_partition_map:
-                emitted = list(job.map_partition(split, context))
-            else:
-                emitted = []
-                for key, value in split:
-                    emitted.extend(job.map(key, value, context))
-            if job.has_combiner:
-                grouped: Dict[Any, List[Any]] = {}
-                order: List[Any] = []
-                for key, value in emitted:
-                    if key not in grouped:
-                        grouped[key] = []
-                        order.append(key)
-                    grouped[key].append(value)
-                combined: List[Record] = []
-                for key in order:
-                    combined.extend(job.combine(key, grouped[key], context))
-                emitted = combined
-            bytes_out = 0.0
-            for key, value in emitted:
-                bucket = self._partition_fn(key, self.num_reducers)
-                record = (key, value)
-                shuffle_buckets[bucket].append(record)
-                bytes_out += serialized_size(record)
-            map_output_records += len(emitted)
+        map_results = executor.run_tasks(
+            _run_map_task,
+            [(job, split, mapper_id, map_phase, self.num_reducers, shipped_fn)
+             for mapper_id, split in enumerate(splits)])
+        for mapper_id, result in enumerate(map_results):
+            if result.per_reducer is None:
+                per_reducer: List[List[Record]] = [[] for _ in range(self.num_reducers)]
+                bytes_out = 0.0
+                for key, value in result.emitted:
+                    record = (key, value)
+                    per_reducer[self._partition_fn(key, self.num_reducers)].append(record)
+                    bytes_out += serialized_size(record)
+                result.per_reducer = per_reducer
+                result.bytes_out = bytes_out
+            for bucket_id, bucket_records in enumerate(result.per_reducer):
+                for record in bucket_records:
+                    shuffle_buckets[bucket_id].append(record)
+            map_output_records += result.records_out
             self.metrics.record(
                 map_phase, mapper_id,
-                compute_units=context.compute_units,
-                bytes_in=bytes_in, bytes_out=bytes_out,
-                records_in=len(split), records_out=len(emitted),
-                peak_memory_bytes=context.peak_memory_bytes,
-                disk_bytes=bytes_in + bytes_out,
+                compute_units=result.compute_units,
+                bytes_in=result.bytes_in, bytes_out=result.bytes_out,
+                records_in=result.records_in, records_out=result.records_out,
+                peak_memory_bytes=result.peak_memory_bytes,
+                disk_bytes=result.bytes_in + result.bytes_out,
+                measured_seconds=result.measured_seconds,
             )
 
         # ------------------------ reduce side --------------------------- #
         outputs: List[Record] = []
         reduce_output_records = 0
         shuffle_bytes = 0.0
-        for reducer_id, bucket in enumerate(shuffle_buckets):
-            context = TaskContext(reduce_phase, reducer_id)
-            grouped: Dict[Any, List[Any]] = {}
-            order: List[Any] = []
-            bytes_in = 0.0
-            records_in = 0
-            for key, value in bucket:
-                if key not in grouped:
-                    grouped[key] = []
-                    order.append(key)
-                grouped[key].append(value)
-                bytes_in += serialized_size((key, value))
-                records_in += 1
-            shuffle_bytes += bytes_in
-            groups = [(key, grouped[key]) for key in order]
-            if job.uses_partition_reduce:
-                emitted = list(job.reduce_partition(groups, context))
-            else:
-                emitted = []
-                for key, values in groups:
-                    emitted.extend(job.reduce(key, values, context))
-            bytes_out = sum(serialized_size(record) for record in emitted)
-            reduce_output_records += len(emitted)
-            outputs.extend(emitted)
+        reduce_results = executor.run_tasks(
+            _run_reduce_task,
+            [(job, list(bucket), reducer_id, reduce_phase)
+             for reducer_id, bucket in enumerate(shuffle_buckets)])
+        for reducer_id, (bucket, result) in enumerate(zip(shuffle_buckets, reduce_results)):
+            shuffle_bytes += result.bytes_in
+            reduce_output_records += result.records_out
+            outputs.extend(result.outputs)
             self.metrics.record(
                 reduce_phase, reducer_id,
-                compute_units=context.compute_units,
-                bytes_in=bytes_in, bytes_out=bytes_out,
-                records_in=records_in, records_out=len(emitted),
-                peak_memory_bytes=context.peak_memory_bytes,
-                disk_bytes=bytes_in + bytes_out,
+                compute_units=result.compute_units,
+                bytes_in=result.bytes_in, bytes_out=result.bytes_out,
+                records_in=result.records_in, records_out=result.records_out,
+                peak_memory_bytes=result.peak_memory_bytes,
+                disk_bytes=result.bytes_in + result.bytes_out,
+                measured_seconds=result.measured_seconds,
             )
             bucket.close()
 

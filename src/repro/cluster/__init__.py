@@ -15,7 +15,19 @@ what factor, where the OOM cliff is) is what the experiments reproduce.
 from repro.cluster.resources import WorkerSpec, ClusterSpec, OutOfMemoryError
 from repro.cluster.layout import ClusterLayout
 from repro.cluster.metrics import InstanceMetrics, MetricsCollector
-from repro.cluster.cost_model import CostModel, CostSummary
+from repro.cluster.cost_model import CostModel, CostSummary, CostValidation, PhaseValidation
+from repro.cluster.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    SharedArrayPack,
+    UnknownExecutorError,
+    WorkerCrashError,
+    WorkerHarness,
+    available_executors,
+    build_executor,
+    default_executor_name,
+)
 
 __all__ = [
     "WorkerSpec",
@@ -26,4 +38,16 @@ __all__ = [
     "MetricsCollector",
     "CostModel",
     "CostSummary",
+    "CostValidation",
+    "PhaseValidation",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "SharedArrayPack",
+    "WorkerHarness",
+    "UnknownExecutorError",
+    "WorkerCrashError",
+    "available_executors",
+    "build_executor",
+    "default_executor_name",
 ]

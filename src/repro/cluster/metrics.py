@@ -27,6 +27,11 @@ class InstanceMetrics:
     records_out: int = 0
     peak_memory_bytes: float = 0.0
     disk_bytes: float = 0.0
+    #: real (host) wall-clock seconds this instance's work took, as measured
+    #: by the executor harness running it — 0 when nothing was measured.
+    #: Unlike every other counter this is *not* deterministic; the cost model
+    #: only uses it for its predicted-vs-measured validation path.
+    measured_seconds: float = 0.0
 
     def merge(self, other: "InstanceMetrics") -> None:
         """Accumulate another metrics record into this one (same phase/instance)."""
@@ -37,6 +42,7 @@ class InstanceMetrics:
         self.records_out += other.records_out
         self.peak_memory_bytes = max(self.peak_memory_bytes, other.peak_memory_bytes)
         self.disk_bytes += other.disk_bytes
+        self.measured_seconds += other.measured_seconds
 
 
 class MetricsCollector:
@@ -58,6 +64,7 @@ class MetricsCollector:
         records_out: int = 0,
         peak_memory_bytes: float = 0.0,
         disk_bytes: float = 0.0,
+        measured_seconds: float = 0.0,
     ) -> None:
         """Add counters for one instance in one phase (accumulating)."""
         key = (phase, int(instance_id))
@@ -69,7 +76,7 @@ class MetricsCollector:
             phase=phase, instance_id=int(instance_id), compute_units=compute_units,
             bytes_in=bytes_in, bytes_out=bytes_out, records_in=records_in,
             records_out=records_out, peak_memory_bytes=peak_memory_bytes,
-            disk_bytes=disk_bytes,
+            disk_bytes=disk_bytes, measured_seconds=measured_seconds,
         ))
 
     # ------------------------------------------------------------------ #
@@ -104,7 +111,7 @@ class MetricsCollector:
                 compute_units=metric.compute_units, bytes_in=metric.bytes_in,
                 bytes_out=metric.bytes_out, records_in=metric.records_in,
                 records_out=metric.records_out, peak_memory_bytes=metric.peak_memory_bytes,
-                disk_bytes=metric.disk_bytes,
+                disk_bytes=metric.disk_bytes, measured_seconds=metric.measured_seconds,
             )
 
 

@@ -10,6 +10,13 @@ its scores are deterministic and match the full-graph backends exactly — the
 redundant-computation cost it pays relative to them is precisely what the
 paper's efficiency tables measure.  Hub-node strategies do not apply here; a
 strategy plan is still resolved so reports stay uniform across backends.
+
+The ``InferenceConfig.executor`` knob is accepted but does not change how
+this backend runs: its "workers" are simulated round-robin batch waves with
+no partitioned state to shard, so there is no per-partition compute for a
+process executor to host.  Scores are therefore trivially identical under
+both executors (the conformance suite checks this along with the sharded
+backends).
 """
 
 from __future__ import annotations

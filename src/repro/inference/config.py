@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cluster.executor import available_executors, default_executor_name
 from repro.cluster.resources import ClusterSpec
 
 
@@ -49,6 +50,17 @@ class InferenceConfig:
     num_workers:
         Number of simulated instances (Pregel partitions, or MapReduce
         mappers/reducers per round).
+    executor:
+        Worker substrate the sharded backends run their per-partition compute
+        on — ``"serial"`` (the default: instances run sequentially in-process,
+        parallelism is simulated) or ``"process"`` (one OS process per
+        instance; graph partitions, feature buffers and the cluster layout
+        ship once via shared memory, per-superstep message blocks travel as
+        pickled numpy bundles).  Scores are identical under both — serial vs
+        process is a *speed* choice, property-checked by the backend
+        conformance suite.  The default follows ``$REPRO_EXECUTOR`` when set.
+        The ``khop`` baseline has no partitioned compute to shard and accepts
+        the knob without behaviour change.
     cluster:
         Worker resource spec used by the cost model; defaults to the paper's
         per-backend flavour scaled down.
@@ -79,6 +91,7 @@ class InferenceConfig:
 
     backend: str = "pregel"
     num_workers: int = 8
+    executor: str = field(default_factory=default_executor_name)
     cluster: Optional[ClusterSpec] = None
     strategies: StrategyConfig = field(default_factory=StrategyConfig)
     collect_embeddings: bool = False
@@ -90,6 +103,10 @@ class InferenceConfig:
         from repro.inference.backends import get_backend
 
         backend = get_backend(self.backend)  # raises with the registered names
+        if self.executor not in available_executors():
+            known = ", ".join(repr(name) for name in sorted(available_executors()))
+            raise ValueError(
+                f"unknown executor {self.executor!r}; known executors: {known}")
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.cluster is None:

@@ -380,12 +380,17 @@ def run_mapreduce_inference(model: GNNModel, graph: Graph, config: InferenceConf
                             plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
                             metrics: MetricsCollector,
                             input_records: Optional[List[Record]] = None,
-                            layout: Optional[ClusterLayout] = None) -> Dict[str, np.ndarray]:
+                            layout: Optional[ClusterLayout] = None,
+                            executor=None) -> Dict[str, np.ndarray]:
     """Execute full-graph inference on the MapReduce backend.
 
     ``layout`` is the plan-cached :class:`~repro.cluster.layout.ClusterLayout`
     over the working graph; the scatter uses its owner table to resolve
     broadcast buckets (``_partition_fn`` routes int keys by the same modulo).
+    ``executor`` is an optional shared :class:`~repro.cluster.executor.Executor`
+    the round engine routes every mapper/reducer instance through (the
+    backend passes its plan-cached one so a serving session reuses a single
+    persistent process pool); ``None`` builds one from ``config.executor``.
     """
     working_graph = shadow_plan.graph if shadow_plan is not None else graph
     original_num_nodes = shadow_plan.original_num_nodes if shadow_plan is not None else graph.num_nodes
@@ -398,6 +403,7 @@ def run_mapreduce_inference(model: GNNModel, graph: Graph, config: InferenceConf
         num_reducers=config.num_workers,
         metrics=metrics,
         partition_fn=_partition_fn,
+        executor=executor if executor is not None else config.executor,
     )
     model.eval()
 
@@ -527,7 +533,8 @@ def run_mapreduce_inference_incremental(
         plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
         metrics: MetricsCollector, input_records: List[Record],
         cached_scores: np.ndarray, feature_dirty: np.ndarray,
-        layout: Optional[ClusterLayout] = None) -> Dict[str, np.ndarray]:
+        layout: Optional[ClusterLayout] = None,
+        executor=None) -> Dict[str, np.ndarray]:
     """Replay only the feature delta's dependency closure; splice the rest.
 
     ``cached_scores`` is the score matrix of the last full run on this plan
@@ -567,6 +574,7 @@ def run_mapreduce_inference_incremental(
         num_reducers=config.num_workers,
         metrics=metrics,
         partition_fn=_partition_fn,
+        executor=executor if executor is not None else config.executor,
     )
     model.eval()
 

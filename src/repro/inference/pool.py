@@ -174,7 +174,8 @@ class SessionPool:
         session.prepare(_private_copy(ingested))
         self._sessions[fingerprint] = session
         while len(self._sessions) > self.capacity:
-            self._sessions.popitem(last=False)
+            _, evicted = self._sessions.popitem(last=False)
+            evicted.close()   # release worker processes / shared memory
             self._evictions += 1
         return fingerprint, session
 
@@ -192,7 +193,11 @@ class SessionPool:
         if new_fingerprint is None or new_fingerprint == fingerprint:
             return
         self._sessions.pop(fingerprint, None)
-        if new_fingerprint in self._sessions:
+        displaced = self._sessions.get(new_fingerprint)
+        if displaced is not None and displaced is not session:
+            # Two tenants converged to the same content: the fresher session
+            # replaces the resident one — one plan per content.
+            displaced.close()
             self._evictions += 1
         self._sessions[new_fingerprint] = session
         self._sessions.move_to_end(new_fingerprint)
@@ -266,16 +271,27 @@ class SessionPool:
         return outcome
 
     def evict(self, graph: GraphLike) -> bool:
-        """Drop the session for ``graph``'s current content; True if present."""
+        """Drop the session for ``graph``'s current content; True if present.
+
+        The evicted session is closed (worker processes and shared-memory
+        segments released).  Deltas still *deferred* in its buffer are
+        discarded with it — but never lost: :meth:`apply_delta` mirrors every
+        delta onto the caller's graph at apply time, so the tenant's next
+        appearance re-prepares from content that already includes them.
+        """
         fingerprint = graph_fingerprint(InferenceSession._ingest(graph))
-        if self._sessions.pop(fingerprint, None) is None:
+        session = self._sessions.pop(fingerprint, None)
+        if session is None:
             return False
+        session.close()
         self._evictions += 1
         return True
 
     def clear(self) -> None:
         """Drop every cached session (counters keep accumulating)."""
         self._evictions += len(self._sessions)
+        for session in self._sessions.values():
+            session.close()
         self._sessions.clear()
 
     def describe(self) -> str:

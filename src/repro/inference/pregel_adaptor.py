@@ -78,7 +78,8 @@ class GNNInferenceProgram(BlockVertexProgram):
     def __init__(self, model: GNNModel, plan: StrategyPlan,
                  shadow_plan: Optional[ShadowNodePlan] = None,
                  cache_states: bool = False, incremental: bool = False,
-                 edge_rows: Optional[Dict[Tuple[int, int], np.ndarray]] = None) -> None:
+                 edge_rows: Optional[Dict[Tuple[int, int], np.ndarray]] = None,
+                 collect_embeddings: bool = False) -> None:
         self.model = model
         self.plan = plan
         self.shadow_plan = shadow_plan
@@ -86,6 +87,33 @@ class GNNInferenceProgram(BlockVertexProgram):
         self.incremental = bool(incremental)
         self.cache_states = bool(cache_states) or self.incremental
         self.edge_rows = edge_rows if edge_rows is not None else {}
+        self.collect_embeddings = bool(collect_embeddings)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def block_state_ship_keys(self) -> tuple:
+        """Process-executor shipping manifest: what this run reads.
+
+        Incremental runs splice into the cached superstep states of the last
+        full run; full runs reset every per-run entry in
+        :meth:`setup_partition`, so nothing needs to travel to the workers.
+        """
+        return ("h_history", "output") if self.incremental else ()
+
+    @property
+    def block_state_return_keys(self) -> tuple:
+        """What this run leaves behind for the parent to keep.
+
+        ``output`` feeds score collection; ``h`` only matters when the caller
+        collects embeddings; ``h_history`` is the warm cache a later
+        incremental run splices into (kept only when this run maintains it).
+        """
+        keys = ["output"]
+        if self.collect_embeddings:
+            keys.append("h")
+        if self.cache_states:
+            keys.extend(("h", "h_history"))
+        return tuple(dict.fromkeys(keys))
 
     # ------------------------------------------------------------------ #
     def max_supersteps(self) -> int:
@@ -341,7 +369,8 @@ def build_pregel_engine(working_graph: Graph, config: InferenceConfig,
     both instead of recomputing them per run.
     """
     engine = PregelEngine(working_graph, num_workers=config.num_workers,
-                          metrics=metrics, layout=layout)
+                          metrics=metrics, layout=layout,
+                          executor=config.executor)
     for partition in engine.partitions:
         partition.block_state["out_src_local"] = partition.local_indices(partition.out_src)
     return engine
@@ -397,7 +426,8 @@ def run_pregel_inference(model: GNNModel, graph: Graph, config: InferenceConfig,
     working_graph = shadow_plan.graph if shadow_plan is not None else graph
     original_num_nodes = shadow_plan.original_num_nodes if shadow_plan is not None else graph.num_nodes
 
-    program = GNNInferenceProgram(model, plan, shadow_plan, cache_states=cache_states)
+    program = GNNInferenceProgram(model, plan, shadow_plan, cache_states=cache_states,
+                                  collect_embeddings=config.collect_embeddings)
     if engine is None:
         engine = build_pregel_engine(working_graph, config, metrics)
     else:
@@ -459,7 +489,8 @@ def run_pregel_inference_incremental(
             edge_rows[(partition.partition_id, superstep)] = rows
 
     program = GNNInferenceProgram(model, plan, shadow_plan, incremental=True,
-                                  edge_rows=edge_rows)
+                                  edge_rows=edge_rows,
+                                  collect_embeddings=config.collect_embeddings)
     engine.metrics = metrics
     model.eval()
     result = engine.run(program, frontier=schedule)

@@ -187,6 +187,31 @@ class InferenceSession:
             graph = tables_to_graph(node_table, edge_table)
         return graph
 
+    @staticmethod
+    def _release_plan_resources(plan: Optional[ExecutionPlan]) -> None:
+        """Shut down backend state that owns OS resources (worker processes,
+        shared-memory segments).  Backend-agnostic: anything in ``plan.state``
+        exposing a ``shutdown()`` — a partitioned Pregel engine, a plan-cached
+        process executor — is released; the plan itself stays usable and lazily
+        respawns workers on its next execution.
+        """
+        if plan is None:
+            return
+        for value in plan.state.values():
+            shutdown = getattr(value, "shutdown", None)
+            if callable(shutdown):
+                shutdown()
+
+    def close(self) -> None:
+        """Release worker processes / shared memory held by the cached plan.
+
+        Only meaningful when the session runs on the ``"process"`` executor
+        (serial plans hold no OS resources); safe to call repeatedly, and the
+        session remains usable — the next execution respawns its workers.
+        :class:`~repro.inference.pool.SessionPool` calls this on eviction.
+        """
+        self._release_plan_resources(self._plan)
+
     def prepare(self, graph: GraphLike) -> ExecutionPlan:
         """Build and cache the execution plan for ``graph``.
 
@@ -206,6 +231,10 @@ class InferenceSession:
                 f"{self._pending.num_pending} deferred delta(s) are pending; "
                 "call flush_deltas() to apply them or discard_pending_deltas() "
                 "before re-planning")
+        # The replaced plan's backend state may own worker processes and
+        # shared-memory segments; release them eagerly rather than waiting for
+        # garbage collection.
+        self._release_plan_resources(self._plan)
         self._plan = self.backend.plan(self.model, self._ingest(graph), self.config)
         self._plan.fingerprint = graph_fingerprint(self._plan.graph)
         self._source = graph

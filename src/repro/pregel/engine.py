@@ -6,9 +6,23 @@ combiners, reduces aggregators, and records per-instance counters into a
 :class:`~repro.cluster.metrics.MetricsCollector` so the cost model can derive
 wall-clock / cpu*min numbers afterwards.
 
-Everything runs in-process: a "worker" is a partition processed sequentially,
-which preserves the system's data-flow shape (message volumes, per-worker skew,
-superstep structure) while staying laptop-sized.
+A "worker" is a partition processed through the engine's
+:class:`~repro.cluster.executor.Executor`:
+
+* the default :class:`~repro.cluster.executor.SerialExecutor` runs each
+  partition sequentially in-process — the historical behaviour, which
+  preserves the system's data-flow shape (message volumes, per-worker skew,
+  superstep structure) while staying laptop-sized;
+* the :class:`~repro.cluster.executor.ProcessExecutor` runs one OS process
+  per partition: partition arrays and the
+  :class:`~repro.cluster.layout.ClusterLayout` tables ship once through
+  ``multiprocessing.shared_memory``, per-superstep message blocks travel as
+  pickled numpy bundles, and the per-partition compute (gather, apply_node,
+  scatter, combine) runs genuinely in parallel.  Results are bit-identical to
+  the serial executor: both run the same
+  :class:`PregelPartitionHarness` code on arrays with identical contents, and
+  message buckets are delivered in sending-partition order, so every
+  order-sensitive reduction sees the same operand sequence.
 
 How message routing works
 -------------------------
@@ -38,11 +52,20 @@ partitioning:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.executor import (
+    Executor,
+    SharedArrayPack,
+    WorkerHarness,
+    attach_shared_array,
+    build_executor,
+    prune_attached_segments,
+)
 from repro.cluster.layout import ClusterLayout
 from repro.cluster.metrics import MetricsCollector
 from repro.graph.graph import Graph
@@ -175,8 +198,269 @@ class PregelResult:
     aggregated: Dict[str, Any] = field(default_factory=dict)
 
 
+# --------------------------------------------------------------------------- #
+# per-partition superstep harness (shared by the serial and process executors)
+# --------------------------------------------------------------------------- #
+@dataclass
+class PregelStepResult:
+    """What one partition reports back to the engine after one superstep."""
+
+    compute_units: float = 0.0
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    records_in: int = 0
+    records_out: int = 0
+    peak_memory_bytes: float = 0.0
+    measured_seconds: float = 0.0
+    messages_sent: int = 0
+    any_active: bool = False
+    all_halted: bool = True
+    aggregator_inputs: Dict[str, List[Any]] = field(default_factory=dict)
+
+
+def _route_outgoing(context: PartitionContext, layout: ClusterLayout,
+                    num_workers: int,
+                    combiner: Optional[MessageCombiner]) -> List[List[AnyMessage]]:
+    """Split a partition's outgoing messages by destination partition.
+
+    Block routing is columnar: one ``owner_of`` gather resolves every row's
+    destination partition and one stable argsort
+    (:meth:`~repro.pregel.vertex.MessageBlock.split_by`) buckets all rows at
+    once — no per-target masks, no per-row Python.  The effective combiner is
+    applied per destination partition before the messages are "sent", and the
+    sender's bytes/records-out counters reflect the post-combine volume — this
+    is how partial-gather shrinks IO, exactly as the real combiner does on
+    the wire.
+    """
+    outgoing: List[List[AnyMessage]] = [[] for _ in range(num_workers)]
+
+    # Plain vertex messages (legacy per-vertex path): group by destination
+    # partition through dicts — payloads are arbitrary Python values.
+    by_partition: Dict[int, Dict[int, List[Any]]] = {}
+    for message in context.outgoing_vertex_messages:
+        dst = int(message.dst)
+        if not 0 <= dst < layout.owner_of.size:
+            raise ValueError(
+                f"partition {context.partition_id} sent a message to "
+                f"unknown vertex {dst} (graph has "
+                f"{layout.owner_of.size} vertices)")
+        target = int(layout.owner_of[dst])
+        by_partition.setdefault(target, {}).setdefault(message.dst, []).append(message.value)
+    for target, per_vertex in by_partition.items():
+        for dst, values in per_vertex.items():
+            if combiner is not None and len(values) > 1:
+                values = [combiner.combine(values)]
+            for value in values:
+                outgoing[target].append(VertexMessage(dst=dst, value=value))
+
+    # Packed blocks: one owner gather + one argsort bucketing per block.
+    for block in context.outgoing_blocks:
+        if block.dst_ids.size == 0:
+            continue
+        targets = layout.owners(block.dst_ids)
+        for target, piece in block.split_by(targets, num_workers):
+            if combiner is not None and piece.combinable:
+                piece = combiner.combine_block(piece)
+            outgoing[target].append(piece)
+    return outgoing
+
+
+class PregelPartitionHarness(WorkerHarness):
+    """One partition's superstep loop body, hosted by an executor slot.
+
+    The harness runs exactly the per-partition work the engine's historical
+    in-process loop performed — compute (or the per-vertex dispatch), routing,
+    combining, accounting — and reports a :class:`PregelStepResult` per
+    superstep.  Under the serial executor it operates on the engine's live
+    :class:`PregelPartition`; under the process executor it operates on a
+    worker-side replica built over shared-memory arrays, and
+    :meth:`finish` ships the final partition state back to the parent.
+    """
+
+    def __init__(self, partition: PregelPartition,
+                 program: Union[VertexProgram, BlockVertexProgram],
+                 layout: ClusterLayout, num_workers: int,
+                 num_graph_vertices: int,
+                 engine_combiner: Optional[MessageCombiner],
+                 is_block: bool, ship_final_state: bool,
+                 return_state_keys: Optional[Sequence[str]] = None) -> None:
+        self.partition = partition
+        self.program = program
+        self.layout = layout
+        self.num_workers = int(num_workers)
+        self.num_graph_vertices = int(num_graph_vertices)
+        self.engine_combiner = engine_combiner
+        self.is_block = bool(is_block)
+        self.ship_final_state = bool(ship_final_state)
+        self.return_state_keys = return_state_keys
+        if self.is_block:
+            program.setup_partition(partition)
+        else:
+            for vertex_id in partition.node_ids:
+                partition.state.values[int(vertex_id)] = program.initial_value(int(vertex_id))
+                partition.state.halted[int(vertex_id)] = False
+
+    # ------------------------------------------------------------------ #
+    def step(self, control: Any,
+             incoming: List[AnyMessage]) -> Tuple[PregelStepResult,
+                                                  List[Tuple[int, List[AnyMessage]]]]:
+        superstep, aggregated, frontier_rows = control
+        started = time.perf_counter()
+        partition = self.partition
+        program = self.program
+
+        bytes_in = sum(m.nbytes() for m in incoming)
+        records_in = sum(m.num_records() for m in incoming)
+        context = PartitionContext(partition, superstep, aggregated,
+                                   self.num_graph_vertices)
+        context.frontier_rows = frontier_rows
+
+        any_active = False
+        if self.is_block:
+            blocks = [m for m in incoming if isinstance(m, MessageBlock)]
+            program.compute_partition(context, blocks)
+            any_active = True
+        else:
+            grouped: Dict[int, List[Any]] = {}
+            for message in incoming:
+                if isinstance(message, VertexMessage):
+                    grouped.setdefault(message.dst, []).append(message.value)
+                else:  # pragma: no cover - blocks to per-vertex programs
+                    for row in range(message.num_records()):
+                        grouped.setdefault(int(message.dst_ids[row]), []).append(
+                            message.payload[row])
+            for vertex_id in partition.node_ids:
+                vertex_id = int(vertex_id)
+                vertex_messages = grouped.get(vertex_id, [])
+                if partition.state.halted.get(vertex_id, False) and not vertex_messages:
+                    continue
+                partition.state.halted[vertex_id] = False
+                any_active = True
+                program.compute(VertexContext(vertex_id, context), vertex_messages)
+
+        program_combiner = None
+        if self.is_block and hasattr(program, "combiner_for_superstep"):
+            program_combiner = program.combiner_for_superstep(superstep)
+        combiner = program_combiner if program_combiner is not None else self.engine_combiner
+        routed = _route_outgoing(context, self.layout, self.num_workers, combiner)
+
+        bytes_out = sum(m.nbytes() for bucket in routed for m in bucket)
+        records_out = sum(m.num_records() for bucket in routed for m in bucket)
+        all_halted = True
+        if not self.is_block:
+            all_halted = all(partition.state.halted.get(int(v), False)
+                             for v in partition.node_ids)
+        result = PregelStepResult(
+            compute_units=context.compute_units,
+            bytes_in=bytes_in, records_in=records_in,
+            bytes_out=bytes_out, records_out=records_out,
+            peak_memory_bytes=context.peak_memory_bytes,
+            measured_seconds=time.perf_counter() - started,
+            messages_sent=sum(len(bucket) for bucket in routed),
+            any_active=any_active,
+            all_halted=all_halted,
+            aggregator_inputs=context.aggregator_inputs,
+        )
+        outgoing = [(target, bucket) for target, bucket in enumerate(routed) if bucket]
+        return result, outgoing
+
+    def finish(self) -> Optional[Dict[str, Any]]:
+        """Ship the final partition state back (process mode only).
+
+        ``out_src_local`` is layout-derived and already known to the parent;
+        everything else the program declared live (see
+        :attr:`BlockVertexProgram.block_state_return_keys`) — e.g. the
+        outputs, plus the per-superstep state cache incremental inference
+        splices into — and the per-vertex value/halt dictionaries travel back
+        so the engine's partitions end the run holding every state a later
+        run (or output collection) will read.
+        """
+        if not self.ship_final_state:
+            return None
+        partition = self.partition
+        keys = self.return_state_keys
+        block_state = {key: value for key, value in partition.block_state.items()
+                       if key != "out_src_local"
+                       and (keys is None or key in keys)}
+        return {
+            "block_state": block_state,
+            "values": partition.state.values,
+            "halted": partition.state.halted,
+        }
+
+
+def _build_serial_harness(slot_id: int, payload: Dict[str, Any]) -> PregelPartitionHarness:
+    """Serial-executor factory: wrap the engine's live partition (no copies)."""
+    return PregelPartitionHarness(
+        partition=payload["partition"],
+        program=payload["program"],
+        layout=payload["layout"],
+        num_workers=payload["num_workers"],
+        num_graph_vertices=payload["num_graph_vertices"],
+        engine_combiner=payload["combiner"],
+        is_block=payload["is_block"],
+        ship_final_state=False,
+    )
+
+
+def _build_process_harness(slot_id: int, payload: Dict[str, Any]) -> PregelPartitionHarness:
+    """Process-executor factory: rebuild the partition over shared memory.
+
+    Array payloads arrive as :class:`~repro.cluster.executor.SharedArraySpec`
+    descriptors; attaching is zero-copy, so the worker reads the same bytes
+    the parent wrote (including later in-place feature-delta scatters).  The
+    seeded ``block_state`` carries whatever the parent-side partition held
+    before the run (e.g. the cached superstep states an incremental run
+    splices into).
+    """
+    layout_payload = payload["layout"]
+    # The payload names every segment this run reads; anything else cached in
+    # this worker is a superseded mapping (an edge delta re-shared the array)
+    # whose pages would otherwise stay allocated for the worker's lifetime.
+    prune_attached_segments(
+        [spec.name for spec in payload["arrays"].values() if spec is not None]
+        + [layout_payload["owner_of"].name, layout_payload["local_of"].name])
+    layout = ClusterLayout(
+        owner_of=attach_shared_array(layout_payload["owner_of"]),
+        local_of=attach_shared_array(layout_payload["local_of"]),
+        num_partitions=layout_payload["num_partitions"],
+    )
+    arrays = {name: None if spec is None else attach_shared_array(spec)
+              for name, spec in payload["arrays"].items()}
+    base = Partition(
+        partition_id=payload["partition_id"],
+        node_ids=arrays["node_ids"],
+        out_src=arrays["out_src"],
+        out_dst=arrays["out_dst"],
+        out_edge_features=arrays["out_edge_features"],
+        node_features=arrays["node_features"],
+        labels=arrays["labels"],
+    )
+    partition = PregelPartition(base, layout)
+    partition.block_state.update(payload["block_state"])
+    return PregelPartitionHarness(
+        partition=partition,
+        program=payload["program"],
+        layout=layout,
+        num_workers=payload["num_workers"],
+        num_graph_vertices=payload["num_graph_vertices"],
+        engine_combiner=payload["combiner"],
+        is_block=payload["is_block"],
+        ship_final_state=True,
+        return_state_keys=payload["return_state_keys"],
+    )
+
+
 class PregelEngine:
-    """Bulk-synchronous superstep executor over hash-partitioned graphs."""
+    """Bulk-synchronous superstep executor over hash-partitioned graphs.
+
+    ``executor`` selects the worker substrate: an
+    :class:`~repro.cluster.executor.Executor` instance, a registry name
+    (``"serial"`` / ``"process"``), or ``None`` for the environment default
+    (``$REPRO_EXECUTOR``, falling back to serial).  The executor and the
+    shared-memory segments backing process workers are created lazily on the
+    first ``run()`` and reused across runs; :meth:`shutdown` releases both.
+    """
 
     def __init__(
         self,
@@ -187,6 +471,7 @@ class PregelEngine:
         metrics: Optional[MetricsCollector] = None,
         partitioner: Optional[HashPartitioner] = None,
         layout: Optional[ClusterLayout] = None,
+        executor: Union[Executor, str, None] = None,
     ) -> None:
         self.graph = graph
         self.num_workers = int(num_workers)
@@ -197,54 +482,108 @@ class PregelEngine:
         self.combiner = combiner
         self.aggregators = aggregators or {}
         self.metrics = metrics or MetricsCollector()
+        if isinstance(executor, Executor):
+            self._executor: Optional[Executor] = executor
+            self.executor_name: Optional[str] = executor.name
+        else:
+            self._executor = None
+            self.executor_name = executor
+        self._shm_pack: Optional[SharedArrayPack] = None
 
     # ------------------------------------------------------------------ #
-    def _route(self, context: PartitionContext,
-               program_combiner: Optional[MessageCombiner]) -> List[List[AnyMessage]]:
-        """Split a partition's outgoing messages by destination partition.
+    @property
+    def executor(self) -> Executor:
+        """The lazily built executor this engine routes partitions through."""
+        if self._executor is None:
+            self._executor = build_executor(self.executor_name, self.num_workers)
+            self.executor_name = self._executor.name
+        return self._executor
 
-        Block routing is columnar: one ``owner_of`` gather resolves every
-        row's destination partition and one stable argsort
-        (:meth:`~repro.pregel.vertex.MessageBlock.split_by`) buckets all rows
-        at once — no per-target masks, no per-row Python.  The effective
-        combiner (program-provided, else engine-level) is applied per
-        destination partition before the messages are "sent", and the sender's
-        bytes/records-out counters reflect the post-combine volume — this is
-        how partial-gather shrinks IO in this simulation, exactly as the real
-        combiner does on the wire.
+    def shutdown(self) -> None:
+        """Release worker processes and shared-memory segments (if any)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if self._shm_pack is not None:
+            self._shm_pack.close()
+            self._shm_pack = None
+
+    # ------------------------------------------------------------------ #
+    _PARTITION_ARRAYS = ("node_ids", "node_features", "labels",
+                         "out_src", "out_dst", "out_edge_features")
+
+    def _shared_spec(self, key: str, array: Optional[np.ndarray],
+                     owner: Any, attr: str):
+        """Share ``array`` once and point ``owner.attr`` at the shm view.
+
+        Re-sharing is a no-op while ``owner.attr`` still is the shared view;
+        an attribute swapped wholesale since the last run (an edge delta's
+        ``replace_out_edges``) gets a fresh segment.  Pointing the live object
+        at the view is what makes later *in-place* writes (feature-delta
+        scatters) visible to attached workers without re-shipping anything.
         """
-        outgoing: List[List[AnyMessage]] = [[] for _ in range(self.num_workers)]
-        combiner = program_combiner if program_combiner is not None else self.combiner
+        if array is None:
+            return None
+        pack = self._shm_pack
+        if not pack.is_current(key, array):
+            pack.share(key, array)
+            setattr(owner, attr, pack.array_for(key))
+        return pack.spec_for(key)
 
-        # Plain vertex messages (legacy per-vertex path): group by destination
-        # partition through dicts — payloads are arbitrary Python values.
-        by_partition: Dict[int, Dict[int, List[Any]]] = {}
-        for message in context.outgoing_vertex_messages:
-            dst = int(message.dst)
-            if not 0 <= dst < self.layout.owner_of.size:
-                raise ValueError(
-                    f"partition {context.partition_id} sent a message to "
-                    f"unknown vertex {dst} (graph has "
-                    f"{self.layout.owner_of.size} vertices)")
-            target = int(self.layout.owner_of[dst])
-            by_partition.setdefault(target, {}).setdefault(message.dst, []).append(message.value)
-        for target, per_vertex in by_partition.items():
-            for dst, values in per_vertex.items():
-                if combiner is not None and len(values) > 1:
-                    values = [combiner.combine(values)]
-                for value in values:
-                    outgoing[target].append(VertexMessage(dst=dst, value=value))
+    def _process_payloads(self, program, is_block: bool) -> List[Dict[str, Any]]:
+        # Programs may declare which block_state keys a run actually *reads*
+        # (ship) and which it leaves behind for later runs / output collection
+        # (return); None means "everything", the safe default for arbitrary
+        # programs.  GNNInferenceProgram ships nothing into full runs and only
+        # the warm caches into incremental ones — the difference is tens of
+        # megabytes per serving tick at benchmark scale.
+        ship_keys = getattr(program, "block_state_ship_keys", None)
+        return_keys = getattr(program, "block_state_return_keys", None)
+        if self._shm_pack is None:
+            self._shm_pack = SharedArrayPack()
+        layout_payload = {
+            "owner_of": self._shared_spec("layout/owner_of", self.layout.owner_of,
+                                          self.layout, "owner_of"),
+            "local_of": self._shared_spec("layout/local_of", self.layout.local_of,
+                                          self.layout, "local_of"),
+            "num_partitions": self.layout.num_partitions,
+        }
+        payloads: List[Dict[str, Any]] = []
+        for partition in self.partitions:
+            pid = partition.partition_id
+            arrays = {
+                name: self._shared_spec(f"part{pid}/{name}",
+                                        getattr(partition, name), partition, name)
+                for name in self._PARTITION_ARRAYS
+            }
+            payloads.append({
+                "partition_id": pid,
+                "arrays": arrays,
+                "layout": layout_payload,
+                "program": program,
+                "combiner": self.combiner,
+                "is_block": is_block,
+                "num_workers": self.num_workers,
+                "num_graph_vertices": self.graph.num_nodes,
+                "block_state": {key: value
+                                for key, value in partition.block_state.items()
+                                if key != "out_src_local"
+                                and (ship_keys is None or key in ship_keys)},
+                "return_state_keys": return_keys,
+            })
+        return payloads
 
-        # Packed blocks: one owner gather + one argsort bucketing per block.
-        for block in context.outgoing_blocks:
-            if block.dst_ids.size == 0:
+    def _apply_final_states(self, finals: Sequence[Optional[Dict[str, Any]]]) -> None:
+        """Fold worker-side final partition state back into the live partitions."""
+        for partition, final in zip(self.partitions, finals):
+            if final is None:
                 continue
-            targets = self.layout.owners(block.dst_ids)
-            for target, piece in block.split_by(targets, self.num_workers):
-                if combiner is not None and piece.combinable:
-                    piece = combiner.combine_block(piece)
-                outgoing[target].append(piece)
-        return outgoing
+            preserved = partition.block_state.get("out_src_local")
+            partition.block_state = dict(final["block_state"])
+            if preserved is not None:
+                partition.block_state["out_src_local"] = preserved
+            partition.state.values = final["values"]
+            partition.state.halted = final["halted"]
 
     # ------------------------------------------------------------------ #
     def run(self, program: Union[VertexProgram, BlockVertexProgram],
@@ -259,100 +598,94 @@ class PregelEngine:
         ``context.frontier_rows``; the block program decides how to exploit it
         — this is how incremental inference reruns just the k-hop region a
         :class:`~repro.inference.delta.GraphDelta` can reach.
+
+        All per-partition compute — the program itself, message routing,
+        combining, accounting — runs through the engine's executor; the loop
+        here only owns the bulk-synchronous structure (superstep barriers,
+        aggregator reduction, termination) and the metrics roll-up.
         """
         is_block = isinstance(program, BlockVertexProgram)
         if frontier is not None and not is_block:
             raise ValueError("frontier schedules require a block program")
         if is_block:
             max_supersteps = program.max_supersteps()
-            for partition in self.partitions:
-                program.setup_partition(partition)
+
+        executor = self.executor
+        if executor.is_in_process:
+            factory = _build_serial_harness
+            payloads = [{
+                "partition": partition,
+                "program": program,
+                "layout": self.layout,
+                "combiner": self.combiner,
+                "is_block": is_block,
+                "num_workers": self.num_workers,
+                "num_graph_vertices": self.graph.num_nodes,
+            } for partition in self.partitions]
         else:
-            for partition in self.partitions:
-                for vertex_id in partition.node_ids:
-                    partition.state.values[int(vertex_id)] = program.initial_value(int(vertex_id))
-                    partition.state.halted[int(vertex_id)] = False
+            factory = _build_process_harness
+            payloads = self._process_payloads(program, is_block)
 
-        mailboxes: List[List[AnyMessage]] = [[] for _ in range(self.num_workers)]
-        aggregated: Dict[str, Any] = {name: agg.identity() for name, agg in self.aggregators.items()}
+        executor.open(factory, payloads)
+        aggregated: Dict[str, Any] = {name: agg.identity()
+                                      for name, agg in self.aggregators.items()}
         superstep = 0
+        finals: Optional[List[Any]] = None
+        try:
+            while superstep < max_supersteps:
+                phase = f"superstep_{superstep}"
+                controls = []
+                for partition in self.partitions:
+                    rows = None
+                    if frontier is not None and superstep < len(frontier):
+                        rows = frontier[superstep].get(partition.partition_id,
+                                                       np.empty(0, dtype=np.int64))
+                    controls.append((superstep, aggregated, rows))
+                results = executor.step(controls)
 
-        while superstep < max_supersteps:
-            next_mailboxes: List[List[AnyMessage]] = [[] for _ in range(self.num_workers)]
-            aggregator_contribs: Dict[str, List[Any]] = {name: [] for name in self.aggregators}
-            messages_sent = 0
-            any_active = False
-            phase = f"superstep_{superstep}"
+                messages_sent = 0
+                any_active = False
+                aggregator_contribs: Dict[str, List[Any]] = {name: []
+                                                             for name in self.aggregators}
+                for slot, result in enumerate(results):
+                    # One record call per partition per superstep: compute, in-
+                    # and out-volumes land in a single InstanceMetrics entry.
+                    self.metrics.record(
+                        phase, slot,
+                        compute_units=result.compute_units,
+                        bytes_in=result.bytes_in, records_in=result.records_in,
+                        bytes_out=result.bytes_out, records_out=result.records_out,
+                        peak_memory_bytes=result.peak_memory_bytes,
+                        measured_seconds=result.measured_seconds,
+                    )
+                    messages_sent += result.messages_sent
+                    any_active = any_active or result.any_active
+                    for name, values in result.aggregator_inputs.items():
+                        if name in aggregator_contribs:
+                            aggregator_contribs[name].extend(values)
 
-            for partition in self.partitions:
-                incoming = mailboxes[partition.partition_id]
-                bytes_in = sum(m.nbytes() for m in incoming)
-                records_in = sum(m.num_records() for m in incoming)
-                context = PartitionContext(partition, superstep, aggregated, self.graph.num_nodes)
-                if frontier is not None and superstep < len(frontier):
-                    context.frontier_rows = frontier[superstep].get(
-                        partition.partition_id,
-                        np.empty(0, dtype=np.int64))
+                for name, aggregator in self.aggregators.items():
+                    contributions = aggregator_contribs[name]
+                    aggregated[name] = (aggregator.reduce(contributions)
+                                        if contributions else aggregator.identity())
 
-                if is_block:
-                    blocks = [m for m in incoming if isinstance(m, MessageBlock)]
-                    program.compute_partition(context, blocks)
-                    any_active = True
-                else:
-                    grouped: Dict[int, List[Any]] = {}
-                    for message in incoming:
-                        if isinstance(message, VertexMessage):
-                            grouped.setdefault(message.dst, []).append(message.value)
-                        else:  # pragma: no cover - blocks to per-vertex programs
-                            for row in range(message.num_records()):
-                                grouped.setdefault(int(message.dst_ids[row]), []).append(
-                                    message.payload[row])
-                    for vertex_id in partition.node_ids:
-                        vertex_id = int(vertex_id)
-                        vertex_messages = grouped.get(vertex_id, [])
-                        if partition.state.halted.get(vertex_id, False) and not vertex_messages:
-                            continue
-                        partition.state.halted[vertex_id] = False
-                        any_active = True
-                        program.compute(VertexContext(vertex_id, context), vertex_messages)
-
-                program_combiner = None
-                if is_block and hasattr(program, "combiner_for_superstep"):
-                    program_combiner = program.combiner_for_superstep(superstep)
-                routed = self._route(context, program_combiner)
-                bytes_out = sum(m.nbytes() for bucket in routed for m in bucket)
-                records_out = sum(m.num_records() for bucket in routed for m in bucket)
-                # One record call per partition per superstep: compute, in- and
-                # out-volumes land in a single InstanceMetrics entry.
-                self.metrics.record(
-                    phase, partition.partition_id,
-                    compute_units=context.compute_units,
-                    bytes_in=bytes_in, records_in=records_in,
-                    bytes_out=bytes_out, records_out=records_out,
-                    peak_memory_bytes=context.peak_memory_bytes,
-                )
-                for target, bucket in enumerate(routed):
-                    next_mailboxes[target].extend(bucket)
-                    messages_sent += len(bucket)
-                for name, values in context.aggregator_inputs.items():
-                    if name in aggregator_contribs:
-                        aggregator_contribs[name].extend(values)
-
-            for name, aggregator in self.aggregators.items():
-                contributions = aggregator_contribs[name]
-                aggregated[name] = aggregator.reduce(contributions) if contributions else aggregator.identity()
-
-            mailboxes = next_mailboxes
-            superstep += 1
-            if not is_block and messages_sent == 0 and not any_active:
-                break
-            if not is_block and messages_sent == 0:
-                all_halted = all(
-                    partition.state.halted.get(int(v), False)
-                    for partition in self.partitions for v in partition.node_ids
-                )
-                if all_halted:
-                    break
+                superstep += 1
+                if not is_block and messages_sent == 0:
+                    if not any_active:
+                        break
+                    if all(result.all_halted for result in results):
+                        break
+            finals = executor.close()
+        finally:
+            if finals is None:
+                # The run failed mid-flight; tear the harness session down so
+                # the executor can serve the next run, without masking the
+                # original exception.
+                try:
+                    executor.close()
+                except Exception:
+                    pass
+        self._apply_final_states(finals)
 
         vertex_values: Dict[int, Any] = {}
         if not is_block:

@@ -245,6 +245,18 @@ class BlockVertexProgram:
     ``incoming`` is the list of :class:`MessageBlock`s whose destinations are
     owned by the partition; the program is responsible for its own
     vectorisation and for sending outgoing blocks through the context.
+
+    Programs running under a process executor may additionally declare two
+    optional attributes (read via ``getattr``; ``None``/absent means
+    "everything", which is always safe):
+
+    * ``block_state_ship_keys`` — the ``partition.block_state`` keys a run
+      *reads* from previous runs, shipped to the worker at open time;
+    * ``block_state_return_keys`` — the keys a run leaves behind for later
+      runs or output collection, shipped back at close time.
+
+    Declaring them precisely avoids round-tripping large state matrices the
+    program would reset anyway.
     """
 
     def compute_partition(self, context: PartitionContext,

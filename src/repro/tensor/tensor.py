@@ -130,6 +130,27 @@ class Tensor:
         return len(self.data)
 
     # ------------------------------------------------------------------ #
+    # pickling (process-executor shipping)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        """Pickle as a leaf: data, grad and flags travel, the graph does not.
+
+        Backward closures capture process-local state and cannot cross a
+        process boundary; shipping a model to an executor worker only needs
+        the weights, and inference never builds a graph anyway (``no_grad``).
+        """
+        return {"data": self.data, "grad": self.grad,
+                "requires_grad": self.requires_grad, "name": self.name}
+
+    def __setstate__(self, state) -> None:
+        self.data = state["data"]
+        self.grad = state.get("grad")
+        self.requires_grad = bool(state.get("requires_grad", False))
+        self.name = state.get("name")
+        self._parents = ()
+        self._backward_fn = None
+
+    # ------------------------------------------------------------------ #
     # graph construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -1,0 +1,212 @@
+"""Cross-backend × cross-executor conformance suite.
+
+Every backend reachable through :func:`repro.inference.backends.available_backends`
+— the built-ins and anything a plugin adds via ``register_backend`` — is
+contract-checked here against the serving guarantees the rest of the system
+assumes, under **every** executor substrate
+(:func:`repro.cluster.executor.available_executors`):
+
+1. **Score equivalence** — a session's scores match the traditional k-hop
+   reference pipeline (bit-identical for the exact backends, within the 1e-9
+   equivalence tolerance otherwise), on random power-law graphs with shadow
+   nodes and broadcast enabled.
+2. **Executor equivalence** — the process executor produces the same scores
+   as the serial executor: bit-identical on ``pregel`` and ``khop``, within
+   1e-9 on ``mapreduce`` (in practice bit-identical there too — executors
+   never change batch shapes).
+3. **Staleness contract** — an out-of-band in-place mutation after
+   ``prepare()`` raises :class:`StalePlanError` instead of serving stale
+   scores.
+4. **Delta fallback** — ``apply_delta`` keeps serving *current* scores
+   whether the backend patches the plan in place (optional hook) or takes the
+   full-recompute default, and ``infer(mode="incremental")`` agrees with a
+   fresh prepare+infer even where no incremental hook exists.
+5. **Plan reuse** — ``infer_many`` never re-plans (backend spy) and repeated
+   runs are bit-identical to each other.
+
+A backend registered by third-party code inherits this suite for free: the
+parametrisation is over the live registry, not a hard-coded list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.khop_pipeline import TraditionalConfig, TraditionalPipeline
+from repro.cluster.executor import available_executors
+from repro.gnn.model import build_model
+from repro.graph.generators import powerlaw_graph
+from repro.inference import (
+    GraphDelta,
+    InferenceConfig,
+    InferenceSession,
+    StalePlanError,
+    StrategyConfig,
+)
+from repro.inference.backends import available_backends
+
+BACKENDS = sorted(available_backends())
+EXECUTORS = sorted(available_executors())
+NUM_WORKERS = 4
+SEEDS = [0, 1, 2]
+
+#: backends whose scores are bit-exact vs the k-hop reference and across
+#: executors; everything else gets the repo-wide 1e-9 equivalence tolerance
+#: (mapreduce batches several nodes per matmul, which shifts BLAS
+#: accumulation order by ~1e-15).
+EXACT_BACKENDS = {"pregel", "khop"}
+
+
+def make_graph(seed: int, num_nodes: int = 400):
+    """Power-law (out-skewed) graph — the hub-strategy regime."""
+    return powerlaw_graph(num_nodes=num_nodes, avg_degree=6.0, skew="out",
+                          feature_dim=8, num_classes=3, seed=seed)
+
+
+def make_model():
+    return build_model("sage", 8, 16, 3, num_layers=2, seed=1)
+
+
+def make_config(backend: str, executor: str) -> InferenceConfig:
+    """Shadow nodes + broadcast + partial-gather on, per the acceptance bar."""
+    return InferenceConfig(
+        backend=backend, num_workers=NUM_WORKERS, executor=executor,
+        strategies=StrategyConfig(partial_gather=True, broadcast=True,
+                                  shadow_nodes=True, hub_threshold_override=15))
+
+
+def khop_reference(model, graph) -> np.ndarray:
+    """The traditional full-neighbourhood pipeline (deterministic baseline)."""
+    outcome = TraditionalPipeline(model, TraditionalConfig(
+        num_workers=NUM_WORKERS)).run(graph, compute_scores=True,
+                                      compute_cost=False)
+    return outcome.scores
+
+
+def assert_scores_match(backend: str, actual: np.ndarray,
+                        expected: np.ndarray) -> None:
+    if backend in EXACT_BACKENDS:
+        np.testing.assert_array_equal(actual, expected)
+    else:
+        np.testing.assert_allclose(actual, expected, atol=1e-9)
+
+
+class _PlanSpy:
+    """Delegating backend wrapper counting ``plan()`` calls."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.plan_calls = 0
+
+    def __getattr__(self, attribute):
+        return getattr(self._inner, attribute)
+
+    def plan(self, model, graph, config):
+        self.plan_calls += 1
+        return self._inner.plan(model, graph, config)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendConformance:
+    def test_scores_match_khop_reference(self, backend, executor):
+        graph = make_graph(seed=7)
+        model = make_model()
+        expected = khop_reference(model, graph)
+        session = InferenceSession(model, make_config(backend, executor))
+        session.prepare(graph)
+        try:
+            # Cross-backend agreement is tolerance-level by design: different
+            # substrates batch different shapes through BLAS (~1e-15 drift).
+            # Bit-exactness is asserted where it is promised — same backend
+            # across runs/executors (the other tests in this suite).
+            np.testing.assert_allclose(session.infer().scores, expected,
+                                       atol=1e-9)
+        finally:
+            session.close()
+
+    def test_staleness_contract(self, backend, executor):
+        graph = make_graph(seed=11)
+        model = make_model()
+        session = InferenceSession(model, make_config(backend, executor))
+        session.prepare(graph)
+        try:
+            session.infer()
+            graph.node_features[0, 0] += 1.0    # out-of-band mutation
+            with pytest.raises(StalePlanError):
+                session.infer()
+        finally:
+            session.close()
+
+    def test_delta_keeps_scores_current(self, backend, executor):
+        """Feature + edge deltas: in-place hook or full-recompute fallback,
+        the next infer() — full and incremental — serves post-delta scores."""
+        rng = np.random.default_rng(23)
+        graph = make_graph(seed=13)
+        model = make_model()
+        session = InferenceSession(model, make_config(backend, executor))
+        session.prepare(graph)
+        try:
+            session.infer()
+            node_ids = rng.choice(graph.num_nodes, size=12, replace=False)
+            delta = GraphDelta(
+                node_ids=node_ids,
+                node_features=rng.normal(size=(12, graph.feature_dim)),
+                added_src=rng.choice(graph.num_nodes, size=5),
+                added_dst=rng.choice(graph.num_nodes, size=5),
+            )
+            session.apply_delta(delta)
+            after = session.infer().scores
+            incremental = session.infer(mode="incremental").scores
+
+            fresh = InferenceSession(model, make_config(backend, executor))
+            fresh.prepare(graph)        # graph already carries the delta
+            expected = fresh.infer().scores
+            fresh.close()
+            assert_scores_match(backend, after, expected)
+            assert_scores_match(backend, incremental, expected)
+        finally:
+            session.close()
+
+    def test_infer_many_reuses_the_plan(self, backend, executor):
+        graph = make_graph(seed=17)
+        model = make_model()
+        session = InferenceSession(model, make_config(backend, executor))
+        spy = _PlanSpy(session.backend)
+        session.backend = spy
+        session.prepare(graph)
+        try:
+            results = session.infer_many(3)
+            assert spy.plan_calls == 1      # the prepare(), nothing since
+            for result in results[1:]:
+                np.testing.assert_array_equal(result.scores, results[0].scores)
+        finally:
+            session.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestExecutorEquivalence:
+    """Acceptance bar: process scores == serial scores, property-tested on
+    random power-law graphs with shadow nodes and broadcast enabled."""
+
+    def test_process_matches_serial(self, backend, seed):
+        if "process" not in EXECUTORS:  # pragma: no cover - registry safety
+            pytest.skip("process executor unavailable")
+        graph = make_graph(seed=seed)
+        model = make_model()
+
+        serial = InferenceSession(model, make_config(backend, "serial"))
+        serial.prepare(graph)
+        expected = serial.infer().scores
+        serial.close()
+
+        process = InferenceSession(model, make_config(backend, "process"))
+        process.prepare(graph)
+        try:
+            actual = process.infer().scores
+        finally:
+            process.close()
+        assert_scores_match(backend, actual, expected)

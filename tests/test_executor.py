@@ -1,0 +1,277 @@
+"""Unit tests for the executor layer itself.
+
+The engines' conformance is covered in ``test_backend_conformance.py``; here
+the executor contracts are tested in isolation: registry resolution, the
+stateless task wave, the stateful harness session with cross-slot message
+delivery, shared-memory array shipping (including the in-place-write
+visibility the delta path relies on), worker error propagation, and the cost
+model's predicted-vs-measured validation path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import os
+import signal
+import time
+
+from repro.cluster.cost_model import CostModel
+from repro.cluster.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedArrayPack,
+    UnknownExecutorError,
+    WorkerCrashError,
+    WorkerHarness,
+    attach_shared_array,
+    available_executors,
+    build_executor,
+    default_executor_name,
+)
+from repro.batch.mapreduce import _default_partition_fn, _hash_is_process_stable
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.resources import ClusterSpec
+
+EXECUTOR_NAMES = sorted(available_executors())
+
+
+# --------------------------------------------------------------------------- #
+# module-level helpers (must be picklable for the process executor)
+# --------------------------------------------------------------------------- #
+def _square(value):
+    return value * value
+
+
+def _fail(value):
+    raise ValueError(f"task exploded on {value}")
+
+
+def _read_shared(spec, row):
+    return float(attach_shared_array(spec)[row, 0])
+
+
+def _getpid():
+    return os.getpid()
+
+
+class _EchoHarness(WorkerHarness):
+    """Forwards each received number to the next slot, +slot_id."""
+
+    def __init__(self, slot_id, payload):
+        self.slot_id = slot_id
+        self.num_slots = payload["num_slots"]
+        self.received = []
+
+    def step(self, control, incoming):
+        self.received.append(sorted(incoming))
+        target = (self.slot_id + 1) % self.num_slots
+        return (self.slot_id, list(incoming)), [(target, [control + self.slot_id])]
+
+    def finish(self):
+        return self.received
+
+
+def _build_echo_harness(slot_id, payload):
+    return _EchoHarness(slot_id, payload)
+
+
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_available_contains_both_substrates(self):
+        assert {"serial", "process"} <= available_executors()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownExecutorError, match="unknown executor"):
+            build_executor("threads", 2)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert default_executor_name() == "serial"
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        assert default_executor_name() == "process"
+        assert build_executor(None, 2).name == "process"
+        monkeypatch.setenv("REPRO_EXECUTOR", "bogus")
+        with pytest.raises(UnknownExecutorError):
+            default_executor_name()
+
+    def test_invalid_slot_count(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(0)
+
+
+@pytest.mark.parametrize("name", EXECUTOR_NAMES)
+class TestRunTasks:
+    def test_results_in_task_order(self, name):
+        executor = build_executor(name, 3)
+        try:
+            # More tasks than slots: waves must preserve task order.
+            assert executor.run_tasks(_square, [(i,) for i in range(8)]) == \
+                [i * i for i in range(8)]
+        finally:
+            executor.shutdown()
+
+    def test_task_errors_propagate(self, name):
+        executor = build_executor(name, 2)
+        try:
+            with pytest.raises(ValueError, match="task exploded on 7"):
+                executor.run_tasks(_fail, [(7,)])
+            # The executor stays usable after a failed wave.
+            assert executor.run_tasks(_square, [(3,)]) == [9]
+        finally:
+            executor.shutdown()
+
+
+@pytest.mark.parametrize("name", EXECUTOR_NAMES)
+class TestHarnessSession:
+    def test_messages_route_between_slots(self, name):
+        num_slots = 3
+        executor = build_executor(name, num_slots)
+        try:
+            executor.open(_build_echo_harness,
+                          [{"num_slots": num_slots}] * num_slots)
+            first = executor.step([100] * num_slots)
+            # Step 0: no mail yet.
+            assert [incoming for _, incoming in first] == [[], [], []]
+            second = executor.step([200] * num_slots)
+            # Step 1: slot s received 100 + (s-1) from its left neighbour.
+            assert [incoming for _, incoming in second] == [[102], [100], [101]]
+            finals = executor.close()
+        finally:
+            executor.shutdown()
+        if name == "serial":
+            # Serial harnesses are live objects; their history is observable.
+            assert finals == [[[], [102]], [[], [100]], [[], [101]]]
+
+    def test_double_open_rejected(self, name):
+        executor = build_executor(name, 1)
+        try:
+            executor.open(_build_echo_harness, [{"num_slots": 1}])
+            with pytest.raises(RuntimeError, match="already has an open"):
+                executor.open(_build_echo_harness, [{"num_slots": 1}])
+            executor.close()
+            # Closed sessions can be reopened.
+            executor.open(_build_echo_harness, [{"num_slots": 1}])
+            executor.close()
+        finally:
+            executor.shutdown()
+
+    def test_payload_count_mismatch(self, name):
+        executor = build_executor(name, 2)
+        try:
+            with pytest.raises(ValueError, match="expected 2 payloads"):
+                executor.open(_build_echo_harness, [{"num_slots": 2}])
+        finally:
+            executor.shutdown()
+
+
+class TestCrashRecovery:
+    def test_dead_worker_resets_pool_and_next_use_respawns(self):
+        executor = ProcessExecutor(2)
+        try:
+            pids = executor.run_tasks(_getpid, [(), ()])
+            os.kill(pids[0], signal.SIGKILL)
+            time.sleep(0.2)     # let the kill land before the next wave
+            with pytest.raises(WorkerCrashError, match="respawn"):
+                executor.run_tasks(_square, [(1,), (2,)])
+            # The crash must not poison the executor: the next use respawns a
+            # fresh pool transparently (this is what keeps a SessionPool entry
+            # serviceable after one OOM-killed worker).
+            assert executor.run_tasks(_square, [(2,), (3,)]) == [4, 9]
+            assert set(executor.run_tasks(_getpid, [(), ()])) != set(pids)
+        finally:
+            executor.shutdown()
+
+
+class TestShufflePlacementStability:
+    def test_salted_hash_default_only_ships_with_stable_seed(self, monkeypatch):
+        # The default partition function uses Python's salted hash(); shipping
+        # it to workers with divergent hash seeds would split one key across
+        # reducers — silently wrong output.  Fork inherits the parent's seed;
+        # spawn only agrees under an explicitly pinned PYTHONHASHSEED.
+        spawn_executor = ProcessExecutor(2, start_method="spawn")
+        fork_executor = ProcessExecutor(2, start_method="fork")
+        try:
+            monkeypatch.delenv("PYTHONHASHSEED", raising=False)
+            assert not _hash_is_process_stable(spawn_executor)
+            assert _hash_is_process_stable(fork_executor)
+            monkeypatch.setenv("PYTHONHASHSEED", "random")
+            assert not _hash_is_process_stable(spawn_executor)
+            monkeypatch.setenv("PYTHONHASHSEED", "0")
+            assert _hash_is_process_stable(spawn_executor)
+            assert _default_partition_fn("key", 4) == hash("key") % 4
+        finally:
+            spawn_executor.shutdown()   # no workers were ever spawned
+            fork_executor.shutdown()
+
+
+class TestSharedArrays:
+    def test_roundtrip_and_in_place_visibility(self):
+        pack = SharedArrayPack()
+        try:
+            source = np.arange(12, dtype=np.float64).reshape(4, 3)
+            spec = pack.share("x", source)
+            view = pack.array_for("x")
+            np.testing.assert_array_equal(view, source)
+
+            executor = ProcessExecutor(1)
+            try:
+                assert executor.run_tasks(_read_shared, [(spec, 1)]) == [3.0]
+                # Parent-side in-place write is visible to workers without
+                # re-sharing — the property feature-delta scatters rely on.
+                view[1, 0] = 42.0
+                assert executor.run_tasks(_read_shared, [(spec, 1)]) == [42.0]
+            finally:
+                executor.shutdown()
+
+            # Re-sharing the same view is a no-op returning the same segment.
+            assert pack.share("x", view).name == spec.name
+            assert pack.is_current("x", view)
+            # A wholesale-replaced array gets a fresh segment.
+            replacement = np.zeros((2, 2))
+            assert pack.share("x", replacement).name != spec.name
+        finally:
+            pack.close()
+
+    def test_empty_arrays_ship_inline(self):
+        pack = SharedArrayPack()
+        try:
+            spec = pack.share("empty", np.empty(0, dtype=np.int64))
+            assert spec.name is None
+            attached = attach_shared_array(spec)
+            assert attached.size == 0 and attached.dtype == np.int64
+        finally:
+            pack.close()
+
+
+class TestCostValidation:
+    def test_measured_seconds_attach_validation(self):
+        metrics = MetricsCollector()
+        metrics.record("phase_0", 0, compute_units=100.0, measured_seconds=0.2)
+        metrics.record("phase_0", 1, compute_units=900.0, measured_seconds=0.9)
+        summary = CostModel(ClusterSpec.pregel_default(2)).summarize(metrics)
+        validation = summary.validation
+        assert validation is not None
+        phase = validation.phases[0]
+        assert phase.measured_wall_seconds == pytest.approx(0.9)
+        # Both sides agree instance 1 is the straggler.
+        assert phase.stragglers_match
+        assert validation.straggler_match_rate == 1.0
+        assert validation.time_scale > 0
+        assert "straggler agreement" in validation.describe()
+
+    def test_no_measurements_no_validation(self):
+        metrics = MetricsCollector()
+        metrics.record("phase_0", 0, compute_units=10.0)
+        model = CostModel(ClusterSpec.pregel_default(1))
+        assert model.summarize(metrics).validation is None
+        with pytest.raises(ValueError, match="no\\s+measured_seconds"):
+            model.summarize(metrics, validate_measured=True)
+
+    def test_validation_skippable(self):
+        metrics = MetricsCollector()
+        metrics.record("phase_0", 0, compute_units=10.0, measured_seconds=0.1)
+        summary = CostModel(ClusterSpec.pregel_default(1)).summarize(
+            metrics, validate_measured=False)
+        assert summary.validation is None

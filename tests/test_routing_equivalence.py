@@ -21,7 +21,7 @@ from repro.graph.partition import HashPartitioner
 from repro.inference.shadow import apply_shadow_nodes
 from repro.inference.strategies import BroadcastMessageBlock
 from repro.pregel.combiners import SumCombiner
-from repro.pregel.engine import PregelEngine
+from repro.pregel.engine import PregelEngine, _route_outgoing
 from repro.pregel.vertex import MessageBlock, PartitionContext
 
 SEEDS = [0, 1, 2]
@@ -115,7 +115,9 @@ def _route_via_engine(engine: PregelEngine, blocks: List[MessageBlock],
                                num_graph_vertices=engine.graph.num_nodes)
     for block in blocks:
         context.send_block(block)
-    return engine._route(context, combiner)
+    # The engine-hosted routing pass the partition harness runs per superstep
+    # (the effective combiner is resolved by the harness before this call).
+    return _route_outgoing(context, engine.layout, engine.num_workers, combiner)
 
 
 class TestRouteEquivalence:
@@ -267,4 +269,4 @@ class TestLocalIndices:
                                    num_graph_vertices=small_graph.num_nodes)
         context.send_message(bad_dst, 1.0)
         with pytest.raises(ValueError, match=f"unknown vertex {bad_dst}"):
-            engine._route(context, None)
+            _route_outgoing(context, engine.layout, engine.num_workers, None)

@@ -246,6 +246,73 @@ class TestDeltaRouting:
         assert not any(has_cached_run(p, session.model.num_layers)
                        for p in engine.partitions)
 
+    def test_rekey_onto_resident_fingerprint_keeps_one_plan_per_content(self):
+        # Tenant B's delta makes its content byte-identical to tenant A's
+        # (duplicate-content tenants): the re-key lands on a fingerprint that
+        # is already resident.  The fresher session must replace the resident
+        # one — one plan per content — and both handles keep being served
+        # correct scores.
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        tenant_a = make_graph(30)
+        tenant_b = make_graph(30)
+        rng = np.random.default_rng(5)
+        ids = rng.choice(tenant_b.num_nodes, size=6, replace=False)
+        original_rows = tenant_b.node_features[ids].copy()
+        # Diverge B first so A and B occupy two distinct entries.
+        pool.apply_delta(tenant_b, GraphDelta(
+            node_ids=ids, node_features=rng.standard_normal((6, 8))))
+        scores_a = pool.infer(tenant_a).scores
+        pool.infer(tenant_b)
+        assert len(pool) == 2
+        evictions_before = pool.stats.evictions
+        b_session = pool.session_for(tenant_b)
+        # Converge B back onto A's exact content.
+        pool.apply_delta(tenant_b, GraphDelta(node_ids=ids,
+                                              node_features=original_rows))
+        assert graph_fingerprint(tenant_b) == graph_fingerprint(tenant_a)
+        assert len(pool) == 1, "converged tenants must share one entry"
+        assert pool.stats.evictions == evictions_before + 1
+        # The surviving entry is B's (fresher) session, and it serves the
+        # shared content correctly for both handles.
+        assert pool.session_for(tenant_a) is b_session
+        np.testing.assert_array_equal(pool.infer(tenant_b).scores, scores_a)
+        np.testing.assert_array_equal(pool.infer(tenant_a).scores, scores_a)
+
+    def test_eviction_with_deferred_deltas_pending(self):
+        # A session holding deferred deltas in its DeltaBuffer gets LRU
+        # evicted.  The buffered plan patch dies with the session, but no
+        # update is lost: apply_delta mirrored the delta onto the caller's
+        # graph at defer time, so the tenant's next appearance re-prepares
+        # from post-delta content — and eviction itself must not raise.
+        pool = SessionPool(make_model(), make_config(), capacity=1)
+        tenant_a = make_graph(31)
+        pool.infer(tenant_a)
+        session_a = pool.session_for(tenant_a)
+        rng = np.random.default_rng(6)
+        ids = rng.choice(tenant_a.num_nodes, size=5, replace=False)
+        rows = rng.standard_normal((5, 8))
+        outcome = pool.apply_delta(tenant_a, GraphDelta(
+            node_ids=ids, node_features=rows), defer=True)
+        assert outcome.deferred and session_a.num_pending_deltas == 1
+
+        tenant_b = make_graph(32)
+        pool.infer(tenant_b)                       # capacity 1: evicts A
+        assert tenant_a not in pool
+        assert pool.stats.evictions == 1
+        # The evicted session still holds its (now orphaned) buffer; the pool
+        # never flushed it behind the tenant's back.
+        assert session_a.num_pending_deltas == 1
+
+        # A's next appearance re-prepares from the mirrored (post-delta)
+        # content and serves the same scores a dedicated post-delta session
+        # would — nothing was lost with the buffer.
+        scores = pool.infer(tenant_a).scores
+        reference = make_graph(31)
+        reference.node_features[ids] = rows
+        solo = InferenceSession(make_model(), make_config())
+        solo.prepare(reference)
+        np.testing.assert_array_equal(scores, solo.infer().scores)
+
     def test_out_of_band_mutation_misses_instead_of_serving_stale(self):
         # Content addressing: a foreign in-place mutation changes the key, so
         # the pool plans the new content instead of serving the stale plan.
