@@ -1,0 +1,142 @@
+"""Async serving gateway: concurrent multi-tenant streams, batched ticks.
+
+The front door of the serving tier: several tenants stream interleaved
+feature refreshes and inference requests *concurrently*, and the
+:class:`~repro.serving.ServingGateway` turns that traffic into the pool's
+efficient shape —
+
+1. each tenant's burst of concurrent requests batches into **one**
+   plan-cache-hit tick (ten dashboard refreshes cost one backend run);
+2. deltas submitted between (or during!) ticks coalesce into one merged plan
+   patch, flushed by the next tick — never visible to the tick already
+   executing;
+3. different tenants' ticks overlap on the gateway's worker threads, and a
+   tenant pushing past its queue bound is rejected with ``Overloaded`` plus a
+   retry-after hint instead of degrading everyone else;
+4. the example proves the streamed scores are bit-identical to replaying the
+   same per-tenant sequence one call at a time against a bare pool.
+
+Run:  PYTHONPATH=src python examples/async_gateway.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from example_utils import scaled
+from repro.gnn.model import build_model
+from repro.graph.generators import powerlaw_graph
+from repro.inference import (
+    GatewayConfig,
+    GraphDelta,
+    InferenceConfig,
+    SessionPool,
+    StrategyConfig,
+)
+from repro.serving import Overloaded, ServingGateway
+
+NUM_TENANTS = 3
+TICKS = 3                  # streamed rounds per tenant
+BURST = 5                  # concurrent requests per tenant per round
+FEATURE_DIM = 16
+
+
+def make_tenant(seed: int):
+    return powerlaw_graph(num_nodes=scaled(3000, minimum=300), avg_degree=6.0,
+                          skew="out", feature_dim=FEATURE_DIM, num_classes=5,
+                          seed=seed)
+
+
+def make_config() -> InferenceConfig:
+    return InferenceConfig(backend="pregel", num_workers=8,
+                           strategies=StrategyConfig(partial_gather=True,
+                                                     broadcast=True,
+                                                     shadow_nodes=True))
+
+
+def tenant_stream(seed: int, graph) -> list:
+    """One tenant's scripted traffic: deltas and request bursts, per round."""
+    rng = np.random.default_rng(seed)
+    rounds = []
+    for _ in range(TICKS):
+        dirty = rng.choice(graph.num_nodes, size=8, replace=False)
+        rounds.append(GraphDelta(node_ids=dirty,
+                                 node_features=rng.standard_normal((8, FEATURE_DIM))))
+    return rounds
+
+
+async def stream_tenant(gateway: ServingGateway, tenant_id: str,
+                        rounds: list) -> list:
+    """Drive one tenant: submit the round's delta, then fire a burst."""
+    scores = []
+    for delta in rounds:
+        await gateway.submit_delta(tenant_id, delta)
+        burst = await asyncio.gather(*(gateway.infer(tenant_id)
+                                       for _ in range(BURST)))
+        scores.append(burst[0].scores)     # the burst shares one tick's result
+    return scores
+
+
+async def serve() -> None:
+    model = build_model("gcn", FEATURE_DIM, 32, 5, num_layers=2, seed=0)
+    tenants = {f"tenant-{seed}": make_tenant(seed)
+               for seed in range(NUM_TENANTS)}
+    streams = {tenant_id: tenant_stream(seed, graph)
+               for seed, (tenant_id, graph) in enumerate(tenants.items())}
+
+    pool = SessionPool(model, make_config(), capacity=NUM_TENANTS)
+    config = GatewayConfig(max_queue_depth=4 * BURST, max_batch=BURST)
+    async with ServingGateway(pool, config) as gateway:
+        for tenant_id, graph in tenants.items():
+            gateway.register(tenant_id, graph)
+        await asyncio.gather(*(gateway.warm(tenant_id)
+                               for tenant_id in tenants))
+
+        # --- all tenants stream concurrently --------------------------- #
+        start = time.perf_counter()
+        streamed = dict(zip(streams, await asyncio.gather(*(
+            stream_tenant(gateway, tenant_id, rounds)
+            for tenant_id, rounds in streams.items()))))
+        elapsed = time.perf_counter() - start
+
+        snapshot = gateway.snapshot()
+        total_requests = NUM_TENANTS * TICKS * BURST
+        print(f"streamed {total_requests} requests + "
+              f"{snapshot.deltas} deltas across {NUM_TENANTS} tenants "
+              f"in {elapsed:.3f}s wall")
+        print(f"batching: {snapshot.requests} requests served by "
+              f"{snapshot.ticks} backend tick(s)")
+        print(snapshot.describe())
+
+        # --- backpressure: a queue bound turns away the excess ---------- #
+        tight = GatewayConfig(max_queue_depth=1, max_batch=1)
+        async with ServingGateway(pool, tight) as small_gateway:
+            small_gateway.register("tenant-0", tenants["tenant-0"])
+            flood = await asyncio.gather(
+                *(small_gateway.infer("tenant-0") for _ in range(6)),
+                return_exceptions=True)
+            rejected = [r for r in flood if isinstance(r, Overloaded)]
+            print(f"backpressure: {len(flood) - len(rejected)}/6 admitted, "
+                  f"{len(rejected)} rejected "
+                  f"(retry after ~{rejected[0].retry_after * 1e3:.0f} ms)"
+                  if rejected else
+                  "backpressure: queue drained fast enough to admit all 6")
+
+    # --- proof: identical to one-call-at-a-time against a bare pool ------ #
+    replay_pool = SessionPool(model, make_config(), capacity=NUM_TENANTS)
+    identical = True
+    for seed, tenant_id in enumerate(streams):
+        graph = make_tenant(seed)                  # same content, fresh arrays
+        for round_index, delta in enumerate(tenant_stream(seed, graph)):
+            replay_pool.apply_delta(graph, delta, defer=True)
+            reference = replay_pool.infer(graph).scores
+            identical &= bool(np.array_equal(
+                streamed[tenant_id][round_index], reference))
+    print(f"streamed scores bit-identical to sequential replay: {identical}")
+
+
+if __name__ == "__main__":
+    asyncio.run(serve())

@@ -79,7 +79,7 @@ from repro.inference.backends import (
     register_backend,
     unregister_backend,
 )
-from repro.inference.config import InferenceConfig, StrategyConfig
+from repro.inference.config import GatewayConfig, InferenceConfig, StrategyConfig
 from repro.inference.delta import (
     DeltaBuffer,
     DeltaOutcome,
@@ -88,7 +88,7 @@ from repro.inference.delta import (
     graph_fingerprint,
 )
 from repro.inference.inferturbo import InferTurbo
-from repro.inference.pool import PoolStats, SessionPool
+from repro.inference.pool import PoolEntry, PoolStats, SessionPool, default_weigher
 from repro.inference.session import InferenceResult, InferenceSession, RunReport
 from repro.inference.strategies import hub_threshold, StrategyPlan, build_strategy_plan
 from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
@@ -96,9 +96,12 @@ from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
 __all__ = [
     "InferenceConfig",
     "StrategyConfig",
+    "GatewayConfig",
     "InferenceSession",
     "SessionPool",
     "PoolStats",
+    "PoolEntry",
+    "default_weigher",
     "RunReport",
     "GraphDelta",
     "DeltaBuffer",

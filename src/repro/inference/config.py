@@ -37,6 +37,57 @@ class StrategyConfig:
 
 
 @dataclass
+class GatewayConfig:
+    """Knobs for the asyncio serving gateway (:mod:`repro.serving`).
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Bound on *queued* infer requests per tenant.  A request arriving at a
+        full queue is rejected with :class:`repro.serving.Overloaded` (carrying
+        a ``retry_after`` hint) instead of being enqueued — admission control
+        rather than unbounded buffering, so a hot tenant cannot grow the
+        event loop's memory without bound.
+    max_batch:
+        Maximum infer requests folded into one tick's single plan-cache-hit
+        execution.  Same-mode requests batch together; a mode change starts
+        the next tick.
+    max_concurrent_ticks:
+        Worker threads executing ticks — the gateway's execution parallelism
+        across tenants (one tenant's ticks are always serialised).  Real
+        parallelism comes from the backend substrate (the ``process``
+        executor runs compute off-GIL); these threads mainly overlap tenants
+        and keep the event loop free.
+    latency_window:
+        How many recent tick-latency samples each tenant keeps for p50/p99
+        percentiles (sampled from
+        :attr:`~repro.inference.session.InferenceResult.elapsed_seconds` —
+        the session's own measurement, not a gateway-side timer).
+    default_retry_after_seconds:
+        The ``retry_after`` hint handed to rejected requests before the
+        tenant has any latency history to estimate from.
+    """
+
+    max_queue_depth: int = 64
+    max_batch: int = 32
+    max_concurrent_ticks: int = 4
+    latency_window: int = 512
+    default_retry_after_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_concurrent_ticks <= 0:
+            raise ValueError("max_concurrent_ticks must be positive")
+        if self.latency_window <= 0:
+            raise ValueError("latency_window must be positive")
+        if self.default_retry_after_seconds <= 0:
+            raise ValueError("default_retry_after_seconds must be positive")
+
+
+@dataclass
 class InferenceConfig:
     """Full configuration of an inference run.
 

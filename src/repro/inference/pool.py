@@ -11,7 +11,7 @@ partition layout, strategy plan, shadow rewrite and backend state included.
 Keying by fingerprint makes the cache **content-addressed**: two tenants
 handing in byte-identical graphs share one plan, and a graph that was mutated
 out of band simply misses the cache and is planned afresh (its stale entry
-ages out through the LRU), so the pool can never serve yesterday's plan for
+ages out through eviction), so the pool can never serve yesterday's plan for
 today's bytes.  Each pooled session is prepared over a **private copy** of
 the tenant's arrays, so the pool never mutates one tenant's buffers on
 another tenant's behalf.  In-band changes go through
@@ -19,15 +19,24 @@ another tenant's behalf.  In-band changes go through
 session *and* mirrors it onto the caller's graph — the tenant's handle and
 the cache key always move together to the post-delta fingerprint.
 
-Capacity is bounded: the pool holds at most ``capacity`` prepared sessions
-and evicts the least-recently-used one when a new tenant would exceed it —
-the standard plan-cache shape for a deployment whose tenant count outgrows
-worker memory.
+Capacity is bounded and eviction is **weighted**: every entry carries a
+weight from a pluggable ``weigher`` (default: the byte size of the graph
+arrays, a deterministic proxy for prepare cost; each entry also records its
+*measured* ``prepare_seconds`` for weighers that prefer real cost), and when
+a new tenant would exceed ``capacity`` the pool evicts the entry with the
+smallest ``weight / age`` score — at equal recency the cheaper-to-rebuild
+plan dies first, while an untouched heavy plan still ages out once its
+``age`` (pool operations since last use) outgrows its weight advantage.
+With equal weights the policy degrades to exact LRU.  Entries may also carry
+a **TTL** (``ttl_seconds``): a plan older than its TTL is dropped on its
+next lookup (or during an eviction sweep) and re-prepared transparently —
+bounded plan age for deployments that prefer periodic re-planning over
+unbounded cache lifetime.
 
 Typical multi-tenant flow::
 
     pool = SessionPool(signature, InferenceConfig(backend="pregel"),
-                       capacity=64)
+                       capacity=64, ttl_seconds=3600.0)
     for tenant_graph in tenants:           # tick 0: one prepare each
         pool.infer(tenant_graph)
     for tenant_graph in tenants:           # later ticks: plan-cache hits
@@ -36,15 +45,23 @@ Typical multi-tenant flow::
     fresh = pool.infer(tenants[0], mode="incremental")
     print(pool.stats)
 
-The pool is not thread-safe; serve it from one scheduler loop (the async
-tier the ROADMAP names next owns the locking story).
+The pool is **thread-safe**: an internal lock guards lookup, preparation,
+re-keying and eviction, so concurrent callers can never double-prepare one
+content or evict a session out from under another caller mid-bookkeeping
+(session execution itself runs *outside* the pool lock — different tenants'
+``infer()`` calls overlap; the per-session locks serialise same-session
+use, and eviction's ``close()`` waits for any in-flight run).  The asyncio
+serving gateway (:mod:`repro.serving`) drives exactly this from a worker
+thread pool.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 from repro.gnn.model import GNNModel
 from repro.gnn.signature import ModelSignature
@@ -79,6 +96,47 @@ def _private_copy(graph: Graph) -> Graph:
     )
 
 
+def _graph_bytes(graph: Graph) -> int:
+    """Byte size of the arrays inference reads — the default entry weight."""
+    total = 0
+    for array in (graph.src, graph.dst, graph.node_features, graph.edge_features):
+        if array is not None:
+            total += array.nbytes
+    return total
+
+
+@dataclass
+class PoolEntry:
+    """One cached session plus the bookkeeping weighted eviction reads.
+
+    ``graph_bytes`` is a deterministic proxy for how expensive the plan was
+    to build (preparation is O(edges));``prepare_seconds`` is the *measured*
+    wall clock of the ``prepare()`` that built it.  The default weigher uses
+    the byte size (stable across runs — timing noise cannot reorder
+    equal-content twins); a deployment that prefers real measured cost passes
+    ``weigher=lambda entry: entry.prepare_seconds``.
+    """
+
+    fingerprint: Fingerprint
+    session: InferenceSession
+    graph_bytes: int
+    prepare_seconds: float
+    #: Pool-operation sequence number of the last use (the eviction clock).
+    last_used_seq: int
+    #: Wall-clock deadline after which the entry re-prepares (None = no TTL).
+    expires_at: Optional[float] = None
+    hits: int = 0
+    weight: float = field(init=False, default=0.0)
+
+
+Weigher = Callable[[PoolEntry], float]
+
+
+def default_weigher(entry: PoolEntry) -> float:
+    """Weight entries by graph byte size — deterministic prepare-cost proxy."""
+    return float(entry.graph_bytes)
+
+
 @dataclass
 class PoolStats:
     """Cache counters for one :class:`SessionPool` (cumulative since creation)."""
@@ -88,6 +146,15 @@ class PoolStats:
     evictions: int
     size: int
     capacity: int
+    #: Entries dropped because their TTL elapsed (each also re-prepared on
+    #: the tenant's next appearance — counted there as a miss).
+    expirations: int = 0
+    #: Measured wall-clock seconds spent preparing sessions (cache misses).
+    total_prepare_seconds: float = 0.0
+    #: Measured wall-clock seconds spent inside pooled ``infer()`` calls —
+    #: summed from :attr:`InferenceResult.elapsed_seconds`, the same
+    #: per-request samples serving-tier percentiles are computed from.
+    total_infer_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -98,11 +165,13 @@ class PoolStats:
         return (f"{self.size}/{self.capacity} session(s), "
                 f"{self.hits} hit(s) / {self.misses} miss(es) "
                 f"({100.0 * self.hit_rate:.0f}% hit rate), "
-                f"{self.evictions} eviction(s)")
+                f"{self.evictions} eviction(s), {self.expirations} expired, "
+                f"{self.total_prepare_seconds:.3f}s preparing / "
+                f"{self.total_infer_seconds:.3f}s serving")
 
 
 class SessionPool:
-    """An LRU cache of prepared inference sessions for one model.
+    """A weighted, TTL-aware cache of prepared inference sessions.
 
     Parameters
     ----------
@@ -118,97 +187,219 @@ class SessionPool:
         ``InferenceConfig()``.
     capacity:
         Maximum number of prepared sessions held at once.  Preparing a graph
-        beyond it evicts the least-recently-used session (its plan is
-        rebuilt on the tenant's next appearance).  Each session owns a
-        private copy of its tenant's graph arrays (isolation between
+        beyond it evicts the entry with the smallest ``weight / age`` score
+        (its plan is rebuilt on the tenant's next appearance).  Each session
+        owns a private copy of its tenant's graph arrays (isolation between
         content-equal tenants), so capacity also bounds that memory.
+    ttl_seconds:
+        Optional per-entry time-to-live measured from ``prepare()`` time.  An
+        expired entry is dropped on its next lookup (a transparent
+        re-prepare) or during an eviction sweep.  ``None`` (default) keeps
+        entries until evicted.
+    weigher:
+        ``PoolEntry -> float`` returning the eviction weight; heavier entries
+        survive lighter ones at equal recency.  Defaults to
+        :func:`default_weigher` (graph array bytes).  Use
+        ``lambda entry: entry.prepare_seconds`` to weight by measured
+        prepare cost.
+    clock:
+        Monotonic time source for TTLs (injectable for tests).
     """
 
     def __init__(self, model: Union[GNNModel, ModelSignature],
                  config: Optional[InferenceConfig] = None,
-                 capacity: int = 8) -> None:
+                 capacity: int = 8,
+                 ttl_seconds: Optional[float] = None,
+                 weigher: Optional[Weigher] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
         self.model = model.build_model() if isinstance(model, ModelSignature) else model
         self.config = config or InferenceConfig()
         self.capacity = int(capacity)
-        self._sessions: "OrderedDict[Fingerprint, InferenceSession]" = OrderedDict()
+        self.ttl_seconds = ttl_seconds
+        self._weigher = weigher or default_weigher
+        self._clock = clock
+        self._entries: "OrderedDict[Fingerprint, PoolEntry]" = OrderedDict()
+        # Reentrant: bookkeeping methods call each other (lookup -> evict),
+        # and eviction's session.close() may wait on an in-flight infer.
+        self._lock = threading.RLock()
+        # Monotonic pool-operation counter — the "age" clock weighted
+        # eviction divides by.  Ticks on every lookup/touch.
+        self._seq = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._expirations = 0
+        self._prepare_seconds = 0.0
+        self._infer_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, graph: GraphLike) -> bool:
-        """Whether ``graph`` (by current content) has a prepared session."""
-        return graph_fingerprint(InferenceSession._ingest(graph)) in self._sessions
+        """Whether ``graph`` (by current content) has a live prepared session."""
+        fingerprint = graph_fingerprint(InferenceSession._ingest(graph))
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            return entry is not None and not self._expired(entry)
 
     def fingerprints(self) -> List[Fingerprint]:
         """Cached fingerprints, least- to most-recently used."""
-        return list(self._sessions)
+        with self._lock:
+            return list(self._entries)
 
     def sessions(self) -> Iterator[InferenceSession]:
         """The live sessions, least- to most-recently used."""
-        return iter(self._sessions.values())
+        with self._lock:
+            return iter([entry.session for entry in self._entries.values()])
+
+    def entries(self) -> List[PoolEntry]:
+        """The live cache entries (weights, prepare cost, recency), LRU-first."""
+        with self._lock:
+            return list(self._entries.values())
 
     @property
     def stats(self) -> PoolStats:
-        return PoolStats(hits=self._hits, misses=self._misses,
-                         evictions=self._evictions, size=len(self._sessions),
-                         capacity=self.capacity)
+        with self._lock:
+            return PoolStats(hits=self._hits, misses=self._misses,
+                             evictions=self._evictions, size=len(self._entries),
+                             capacity=self.capacity,
+                             expirations=self._expirations,
+                             total_prepare_seconds=self._prepare_seconds,
+                             total_infer_seconds=self._infer_seconds)
 
     # ------------------------------------------------------------------ #
+    def _expired(self, entry: PoolEntry) -> bool:
+        return entry.expires_at is not None and self._clock() >= entry.expires_at
+
+    def _drop(self, entry: PoolEntry, *, expired: bool) -> None:
+        """Remove ``entry`` and release its resources (lock held)."""
+        self._entries.pop(entry.fingerprint, None)
+        entry.session.close()   # waits for any in-flight infer, then frees
+        if expired:
+            self._expirations += 1
+        else:
+            self._evictions += 1
+
+    def purge_expired(self) -> int:
+        """Drop every entry whose TTL elapsed; returns how many were dropped."""
+        with self._lock:
+            stale = [entry for entry in self._entries.values() if self._expired(entry)]
+            for entry in stale:
+                self._drop(entry, expired=True)
+            return len(stale)
+
+    def _eviction_score(self, entry: PoolEntry) -> Tuple[float, int]:
+        """Smaller evicts first: ``weight / age``, recency breaking ties.
+
+        ``age`` counts pool operations since the entry's last use, so a heavy
+        plan left untouched decays toward eviction instead of squatting
+        forever, while at equal recency the lighter (cheaper-to-rebuild)
+        entry always dies first.  Equal weights reduce to exact LRU.
+        """
+        age = max(1, self._seq - entry.last_used_seq + 1)
+        return (entry.weight / age, entry.last_used_seq)
+
+    def _evict_over_capacity(self) -> None:
+        """Shrink to ``capacity`` (lock held): expired first, then by score."""
+        if len(self._entries) > self.capacity:
+            self.purge_expired()
+        while len(self._entries) > self.capacity:
+            victim = min(self._entries.values(), key=self._eviction_score)
+            self._drop(victim, expired=False)
+
+    def _touch(self, entry: PoolEntry) -> None:
+        self._seq += 1
+        entry.last_used_seq = self._seq
+        entry.hits += 1
+        entry.weight = float(self._weigher(entry))
+        self._entries.move_to_end(entry.fingerprint)
+
     def _lookup(self, graph: GraphLike) -> Tuple[Fingerprint, InferenceSession]:
-        """Get-or-create the session covering ``graph``'s current content."""
+        """Get-or-create the session covering ``graph``'s current content.
+
+        Runs fully under the pool lock: two concurrent callers handing in the
+        same content get one prepared session, never a double prepare — one
+        blocks on the lock while the other runs the (one-off) preparation.
+        """
         ingested = InferenceSession._ingest(graph)
         fingerprint = graph_fingerprint(ingested)
-        session = self._sessions.get(fingerprint)
-        if session is not None:
-            self._hits += 1
-            self._sessions.move_to_end(fingerprint)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None and self._expired(entry):
+                # TTL elapsed: drop and fall through to a transparent
+                # re-prepare (counted as a miss — the tenant pays plan cost).
+                self._drop(entry, expired=True)
+                entry = None
+            if entry is not None:
+                self._hits += 1
+                self._touch(entry)
+                return fingerprint, entry.session
+            self._misses += 1
+            session = InferenceSession(self.model, self.config)
+            started = time.perf_counter()
+            session.prepare(_private_copy(ingested))
+            prepare_seconds = time.perf_counter() - started
+            self._prepare_seconds += prepare_seconds
+            self._seq += 1
+            entry = PoolEntry(
+                fingerprint=fingerprint,
+                session=session,
+                graph_bytes=_graph_bytes(ingested),
+                prepare_seconds=prepare_seconds,
+                last_used_seq=self._seq,
+                expires_at=(None if self.ttl_seconds is None
+                            else self._clock() + self.ttl_seconds),
+            )
+            entry.weight = float(self._weigher(entry))
+            self._entries[fingerprint] = entry
+            self._evict_over_capacity()
             return fingerprint, session
-        self._misses += 1
-        session = InferenceSession(self.model, self.config)
-        session.prepare(_private_copy(ingested))
-        self._sessions[fingerprint] = session
-        while len(self._sessions) > self.capacity:
-            _, evicted = self._sessions.popitem(last=False)
-            evicted.close()   # release worker processes / shared memory
-            self._evictions += 1
-        return fingerprint, session
 
     def _rekey(self, fingerprint: Fingerprint,
                new_fingerprint: Optional[Fingerprint],
                session: InferenceSession) -> None:
-        """Move ``session`` to ``new_fingerprint`` after its content changed.
+        """Move ``session``'s entry to ``new_fingerprint`` after its content changed.
 
         Deltas change the graph content and therefore the fingerprint; the
         cache key must follow it or the tenant's next lookup would miss.  If
         another tenant already occupies the new fingerprint (two graphs
         converged to the same content), the fresher session replaces it —
-        one plan per content.
+        one plan per content.  The move is identity-checked: if a concurrent
+        delta already re-keyed the entry elsewhere (the old key no longer
+        holds *this* session), there is nothing left to move — re-inserting
+        under a stale fingerprint would duplicate the session in the cache.
         """
-        if new_fingerprint is None or new_fingerprint == fingerprint:
+        if new_fingerprint is None:
             return
-        self._sessions.pop(fingerprint, None)
-        displaced = self._sessions.get(new_fingerprint)
-        if displaced is not None and displaced is not session:
-            # Two tenants converged to the same content: the fresher session
-            # replaces the resident one — one plan per content.
-            displaced.close()
-            self._evictions += 1
-        self._sessions[new_fingerprint] = session
-        self._sessions.move_to_end(new_fingerprint)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None or entry.session is not session:
+                return
+            if new_fingerprint == fingerprint:
+                return
+            self._entries.pop(fingerprint, None)
+            displaced = self._entries.get(new_fingerprint)
+            if displaced is not None and displaced.session is not session:
+                # Two tenants converged to the same content: the fresher
+                # session replaces the resident one — one plan per content.
+                self._drop(displaced, expired=False)
+            entry.fingerprint = new_fingerprint
+            self._entries[new_fingerprint] = entry
+            self._entries.move_to_end(new_fingerprint)
 
     # ------------------------------------------------------------------ #
     def session_for(self, graph: GraphLike) -> InferenceSession:
-        """The prepared session for ``graph``'s current content (LRU-touched).
+        """The prepared session for ``graph``'s current content (recency-touched).
 
         A cache hit returns the existing session without re-planning — the
-        plan-reuse guarantee the pool exists for; a miss prepares a new
-        session (and may evict the least-recently-used one).
+        plan-reuse guarantee the pool exists for; a miss (or an expired
+        entry) prepares a new session (and may evict the lowest-scored one).
         """
         return self._lookup(graph)[1]
 
@@ -227,10 +418,17 @@ class SessionPool:
         so the tenant's handle keeps hitting.  (The safety-net re-key here
         only matters when deltas were applied directly on a session obtained
         via :meth:`session_for`, bypassing the pool.)
+
+        The execution itself runs *outside* the pool lock, so concurrent
+        callers serving different tenants overlap; concurrent callers of one
+        tenant serialise on the session's own execution lock.
         """
         fingerprint, session = self._lookup(graph)
         try:
-            return session.infer(mode=mode, check_memory=check_memory)
+            result = session.infer(mode=mode, check_memory=check_memory)
+            with self._lock:
+                self._infer_seconds += result.elapsed_seconds
+            return result
         finally:
             new_fingerprint = (session.plan.fingerprint
                                if session.plan is not None else None)
@@ -249,6 +447,13 @@ class SessionPool:
         fingerprint.  A graph not in the pool is prepared first; the delta
         then lands on that fresh plan.
 
+        The whole routine runs under the pool lock, making the
+        lookup→patch→mirror→re-key sequence atomic against concurrent pool
+        callers.  With ``defer=True`` the patch is a fast buffer merge that
+        may overlap the same session's in-flight execution (the serving
+        gateway's tick-overlap path); an *eager* delta blocks until any
+        in-flight run on that session finishes.
+
         Only in-memory :class:`~repro.graph.graph.Graph` tenants can apply
         deltas through the pool: a ``(NodeTable, EdgeTable)`` pair is
         re-ingested on every lookup, so there is no caller-side object the
@@ -261,14 +466,16 @@ class SessionPool:
                 "(NodeTable, EdgeTable) pair is re-ingested per lookup, so a "
                 "delta applied to it would be lost on the next infer().  "
                 "Convert once with tables_to_graph() and hand the Graph in")
-        fingerprint, session = self._lookup(graph)
-        outcome = session.apply_delta(delta, defer=defer)
-        # Mirror onto the caller's handle.  The session already validated the
-        # delta against byte-identical content, so this cannot half-apply.
-        if not delta.is_empty:
-            apply_delta_to_graph(graph, delta)
-        self._rekey(fingerprint, graph_fingerprint(graph), session)
-        return outcome
+        with self._lock:
+            fingerprint, session = self._lookup(graph)
+            outcome = session.apply_delta(delta, defer=defer)
+            # Mirror onto the caller's handle.  The session already validated
+            # the delta against byte-identical content, so this cannot
+            # half-apply.
+            if not delta.is_empty:
+                apply_delta_to_graph(graph, delta)
+            self._rekey(fingerprint, graph_fingerprint(graph), session)
+            return outcome
 
     def evict(self, graph: GraphLike) -> bool:
         """Drop the session for ``graph``'s current content; True if present.
@@ -280,19 +487,18 @@ class SessionPool:
         appearance re-prepares from content that already includes them.
         """
         fingerprint = graph_fingerprint(InferenceSession._ingest(graph))
-        session = self._sessions.pop(fingerprint, None)
-        if session is None:
-            return False
-        session.close()
-        self._evictions += 1
-        return True
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return False
+            self._drop(entry, expired=False)
+            return True
 
     def clear(self) -> None:
         """Drop every cached session (counters keep accumulating)."""
-        self._evictions += len(self._sessions)
-        for session in self._sessions.values():
-            session.close()
-        self._sessions.clear()
+        with self._lock:
+            for entry in list(self._entries.values()):
+                self._drop(entry, expired=False)
 
     def describe(self) -> str:
         backend = self.config.backend

@@ -28,6 +28,8 @@ backends that support it (bit-identical to a fresh full run), and plain
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -66,6 +68,11 @@ class InferenceResult:
     plan: StrategyPlan
     embeddings: Optional[np.ndarray] = None
     num_supersteps: int = 0
+    #: Real wall-clock seconds this ``infer()`` call took (deferred-delta
+    #: flush included) — the per-request latency sample serving tiers
+    #: aggregate into percentiles, measured here so every consumer shares one
+    #: source of truth instead of wrapping its own timer around the call.
+    elapsed_seconds: float = 0.0
 
     def predicted_classes(self) -> np.ndarray:
         """Hard argmax predictions (single-label tasks)."""
@@ -86,10 +93,21 @@ class RunReport:
     total_wall_clock_seconds: float
     total_cpu_minutes: float
     total_bytes: float
+    #: Real (measured, not simulated) wall-clock seconds summed over every
+    #: ``infer()`` the session executed, and the latest single sample — the
+    #: serving tier's latency source of truth.
+    total_elapsed_seconds: float = 0.0
+    last_elapsed_seconds: float = 0.0
+
+    @property
+    def mean_elapsed_seconds(self) -> float:
+        """Mean measured seconds per ``infer()`` (0 before the first run)."""
+        return self.total_elapsed_seconds / self.num_runs if self.num_runs else 0.0
 
     def describe(self) -> str:
         return (f"{self.backend}: {self.num_runs} run(s), "
                 f"{self.total_wall_clock_seconds:.3f}s simulated wall-clock total, "
+                f"{self.total_elapsed_seconds:.3f}s measured, "
                 f"{self.total_cpu_minutes:.4f} cpu*min, "
                 f"{self.total_bytes / 1e6:.1f} MB moved  [{self.plan_description}]")
 
@@ -146,6 +164,20 @@ class InferenceSession:
         self._topo_dirty: np.ndarray = _EMPTY_IDS
         # Deferred deltas (apply_delta(defer=True)) awaiting one merged flush.
         self._pending: Optional[DeltaBuffer] = None
+        # Concurrency contract (the async serving gateway drives sessions from
+        # worker threads):
+        #   * ``_exec_lock`` serialises everything that mutates or executes
+        #     the plan — prepare, eager apply_delta, flush, infer, close — so
+        #     two threads can never run or rebuild one plan at once;
+        #   * ``_mutate_lock`` covers only the *mutation* phases (flush /
+        #     prepare / eager apply) plus deferred buffering, so
+        #     ``apply_delta(defer=True)`` may safely overlap a long backend
+        #     execution (which only reads the graph) but never a flush
+        #     (which rewrites it).
+        # Lock order is always _exec_lock -> _mutate_lock; the deferred path
+        # takes _mutate_lock alone, so no cycle exists.
+        self._exec_lock = threading.RLock()
+        self._mutate_lock = threading.RLock()
         # True while a batch holds the staleness check it already performed,
         # so infer_many() fingerprints the graph once, not once per run.
         self._staleness_checked = False
@@ -156,6 +188,7 @@ class InferenceSession:
         self._total_wall_clock_seconds = 0.0
         self._total_cpu_minutes = 0.0
         self._total_bytes = 0.0
+        self._total_elapsed_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -209,8 +242,11 @@ class InferenceSession:
         (serial plans hold no OS resources); safe to call repeatedly, and the
         session remains usable — the next execution respawns its workers.
         :class:`~repro.inference.pool.SessionPool` calls this on eviction.
+        An ``infer()`` in flight on another thread finishes first — workers
+        are never torn down under a running execution.
         """
-        self._release_plan_resources(self._plan)
+        with self._exec_lock:
+            self._release_plan_resources(self._plan)
 
     def prepare(self, graph: GraphLike) -> ExecutionPlan:
         """Build and cache the execution plan for ``graph``.
@@ -226,21 +262,22 @@ class InferenceSession:
         them, so it raises; call :meth:`flush_deltas` (to apply them) or
         :meth:`discard_pending_deltas` first.
         """
-        if self._pending is not None and not self._pending.is_empty:
-            raise RuntimeError(
-                f"{self._pending.num_pending} deferred delta(s) are pending; "
-                "call flush_deltas() to apply them or discard_pending_deltas() "
-                "before re-planning")
-        # The replaced plan's backend state may own worker processes and
-        # shared-memory segments; release them eagerly rather than waiting for
-        # garbage collection.
-        self._release_plan_resources(self._plan)
-        self._plan = self.backend.plan(self.model, self._ingest(graph), self.config)
-        self._plan.fingerprint = graph_fingerprint(self._plan.graph)
-        self._source = graph
-        self._feature_dirty = _EMPTY_IDS
-        self._topo_dirty = _EMPTY_IDS
-        return self._plan
+        with self._exec_lock, self._mutate_lock:
+            if self._pending is not None and not self._pending.is_empty:
+                raise RuntimeError(
+                    f"{self._pending.num_pending} deferred delta(s) are pending; "
+                    "call flush_deltas() to apply them or discard_pending_deltas() "
+                    "before re-planning")
+            # The replaced plan's backend state may own worker processes and
+            # shared-memory segments; release them eagerly rather than waiting
+            # for garbage collection.
+            self._release_plan_resources(self._plan)
+            self._plan = self.backend.plan(self.model, self._ingest(graph), self.config)
+            self._plan.fingerprint = graph_fingerprint(self._plan.graph)
+            self._source = graph
+            self._feature_dirty = _EMPTY_IDS
+            self._topo_dirty = _EMPTY_IDS
+            return self._plan
 
     def _is_prepared_for(self, graph: GraphLike) -> bool:
         """True when the cached plan covers ``graph``.
@@ -296,37 +333,48 @@ class InferenceSession:
         outcome then has ``deferred=True`` and reports nothing about plan
         validity; the flush's outcome does.
         """
-        if self._plan is None:
-            raise RuntimeError("session is not prepared; call prepare(graph) first")
-        # A delta describes a change to the *prepared* state: if the graph was
-        # already mutated out of band, patching on top would silently absorb
-        # the unknown mutation into a fresh fingerprint — the exact
-        # stale-answer bug this contract exists to prevent.  Fail loudly,
-        # even when the per-infer() check is disabled.
-        self._check_staleness(force=True)
         if defer:
-            # delta_seen stays unarmed until the flush actually applies
-            # something: a discarded or fully-cancelled buffer must not make
-            # the session start paying for incremental state caches.
-            buffer = self._pending or DeltaBuffer(self._plan.graph)
-            # add() validates before mutating, so a rejected delta leaves an
-            # existing buffer consistent — and a fresh buffer is only
-            # committed to the session after its first successful add, or a
-            # failed first defer would pin an empty buffer to a stale
-            # edge-list snapshot.
-            buffer.add(delta)
-            self._pending = buffer
-            return DeltaOutcome(
-                in_place=True, deferred=True,
-                reason=f"buffered ({self._pending.num_pending} pending); "
-                       "applied at the next infer()/flush_deltas()")
-        if self._pending is not None and not self._pending.is_empty:
-            # An eager delta describes the state *after* the buffered ones:
-            # preserve sequence semantics by flushing them first.
-            self.flush_deltas()
-        if delta.is_empty:
-            return DeltaOutcome(in_place=True)
-        return self._apply_delta_now(delta)
+            # Deferred buffering takes only the mutate lock, so a serving
+            # gateway may coalesce next-tick deltas *while* the current tick
+            # executes on another thread (execution only reads the graph); a
+            # concurrent flush/prepare — which rewrites it — is excluded.
+            with self._mutate_lock:
+                if self._plan is None:
+                    raise RuntimeError(
+                        "session is not prepared; call prepare(graph) first")
+                # A delta describes a change to the *prepared* state: if the
+                # graph was already mutated out of band, patching on top would
+                # silently absorb the unknown mutation into a fresh
+                # fingerprint — the exact stale-answer bug this contract
+                # exists to prevent.  Fail loudly, even when the per-infer()
+                # check is disabled.
+                self._check_staleness(force=True)
+                # delta_seen stays unarmed until the flush actually applies
+                # something: a discarded or fully-cancelled buffer must not
+                # make the session start paying for incremental state caches.
+                buffer = self._pending or DeltaBuffer(self._plan.graph)
+                # add() validates before mutating, so a rejected delta leaves
+                # an existing buffer consistent — and a fresh buffer is only
+                # committed to the session after its first successful add, or
+                # a failed first defer would pin an empty buffer to a stale
+                # edge-list snapshot.
+                buffer.add(delta)
+                self._pending = buffer
+                return DeltaOutcome(
+                    in_place=True, deferred=True,
+                    reason=f"buffered ({self._pending.num_pending} pending); "
+                           "applied at the next infer()/flush_deltas()")
+        with self._exec_lock:
+            if self._plan is None:
+                raise RuntimeError("session is not prepared; call prepare(graph) first")
+            self._check_staleness(force=True)
+            if self._pending is not None and not self._pending.is_empty:
+                # An eager delta describes the state *after* the buffered ones:
+                # preserve sequence semantics by flushing them first.
+                self.flush_deltas()
+            if delta.is_empty:
+                return DeltaOutcome(in_place=True)
+            return self._apply_delta_now(delta)
 
     def flush_deltas(self) -> DeltaOutcome:
         """Apply every deferred delta as one merged delta (no-op when none).
@@ -335,27 +383,46 @@ class InferenceSession:
         only needs it to control *when* the plan patch happens (e.g. off the
         request path).
         """
-        buffer, self._pending = self._pending, None
-        if buffer is None or buffer.is_empty:
-            return DeltaOutcome(in_place=True, reason="no pending deltas")
-        # The buffered deltas describe changes to the *prepared* state; if the
-        # graph was mutated out of band since they were deferred, applying the
-        # merged delta would launder that mutation into a fresh fingerprint —
-        # the same loud failure the eager path enforces.
-        self._check_staleness(force=True)
-        merged = buffer.merge()
-        if merged.is_empty:
-            # Deltas can cancel out (every append later removed); nothing to do.
-            return DeltaOutcome(in_place=True, reason="pending deltas cancelled out")
-        return self._apply_delta_now(merged)
+        with self._exec_lock, self._mutate_lock:
+            buffer, self._pending = self._pending, None
+            if buffer is None or buffer.is_empty:
+                return DeltaOutcome(in_place=True, reason="no pending deltas")
+            # The buffered deltas describe changes to the *prepared* state; if
+            # the graph was mutated out of band since they were deferred,
+            # applying the merged delta would launder that mutation into a
+            # fresh fingerprint — the same loud failure the eager path
+            # enforces.
+            self._check_staleness(force=True)
+            merged = buffer.merge()
+            if merged.is_empty:
+                # Deltas can cancel out (every append later removed);
+                # nothing to do.
+                return DeltaOutcome(in_place=True,
+                                    reason="pending deltas cancelled out")
+            return self._apply_delta_now(merged)
 
     def discard_pending_deltas(self) -> int:
         """Drop the deferred-delta buffer; returns how many deltas it held."""
-        buffer, self._pending = self._pending, None
-        return 0 if buffer is None else buffer.num_pending
+        with self._mutate_lock:
+            buffer, self._pending = self._pending, None
+            return 0 if buffer is None else buffer.num_pending
 
     def _apply_delta_now(self, delta: GraphDelta) -> DeltaOutcome:
-        """Eagerly fold a (possibly merged) delta into the plan or re-plan."""
+        """Eagerly fold a (possibly merged) delta into the plan or re-plan.
+
+        Callers hold ``_exec_lock``; the mutate lock is taken here so deferred
+        buffering on other threads is excluded while the plan and graph
+        arrays are rewritten.
+        """
+        self._exec_lock.acquire()
+        self._mutate_lock.acquire()
+        try:
+            return self._apply_delta_now_locked(delta)
+        finally:
+            self._mutate_lock.release()
+            self._exec_lock.release()
+
+    def _apply_delta_now_locked(self, delta: GraphDelta) -> DeltaOutcome:
         self._plan.delta_seen = True
         hook = getattr(self.backend, "apply_delta", None)
         if hook is not None:
@@ -411,46 +478,51 @@ class InferenceSession:
         """
         if mode not in ("full", "incremental"):
             raise ValueError(f"mode must be 'full' or 'incremental', got {mode!r}")
-        if graph is not None and not self._is_prepared_for(graph):
-            self.prepare(graph)
-        if self._plan is None:
-            raise RuntimeError(
-                "session is not prepared; call prepare(graph) first "
-                "(or pass a graph to infer())")
-        if self._pending is not None and not self._pending.is_empty:
-            self.flush_deltas()
-        self._check_staleness()
+        started = time.perf_counter()
+        with self._exec_lock:
+            if graph is not None and not self._is_prepared_for(graph):
+                self.prepare(graph)
+            if self._plan is None:
+                raise RuntimeError(
+                    "session is not prepared; call prepare(graph) first "
+                    "(or pass a graph to infer())")
+            if self._pending is not None and not self._pending.is_empty:
+                self.flush_deltas()
+            self._check_staleness()
 
-        plan = self._plan
-        metrics = MetricsCollector()
-        outputs = None
-        if mode == "incremental":
-            hook = getattr(self.backend, "execute_incremental", None)
-            if hook is not None:
-                outputs = hook(plan, metrics, self._feature_dirty, self._topo_dirty)
-                if outputs is None:
-                    metrics = MetricsCollector()   # discard the aborted attempt
-        if outputs is None:
-            outputs = self.backend.execute(plan, metrics)
-        # Either path leaves the backend's caches describing the current
-        # graph, so the dirty region is consumed.
-        self._feature_dirty = _EMPTY_IDS
-        self._topo_dirty = _EMPTY_IDS
-        cost = CostModel(self.config.cluster).summarize(metrics, check_memory=check_memory)
-        result = InferenceResult(
-            scores=outputs["scores"],
-            embeddings=outputs.get("embeddings"),
-            cost=cost,
-            metrics=metrics,
-            plan=plan.strategy_plan,
-            num_supersteps=plan.num_supersteps,
-        )
-        self._last_result = result
-        self._num_runs += 1
-        self._total_wall_clock_seconds += cost.wall_clock_seconds
-        self._total_cpu_minutes += cost.cpu_minutes
-        self._total_bytes += cost.total_bytes
-        return result
+            plan = self._plan
+            metrics = MetricsCollector()
+            outputs = None
+            if mode == "incremental":
+                hook = getattr(self.backend, "execute_incremental", None)
+                if hook is not None:
+                    outputs = hook(plan, metrics, self._feature_dirty, self._topo_dirty)
+                    if outputs is None:
+                        metrics = MetricsCollector()   # discard the aborted attempt
+            if outputs is None:
+                outputs = self.backend.execute(plan, metrics)
+            # Either path leaves the backend's caches describing the current
+            # graph, so the dirty region is consumed.
+            self._feature_dirty = _EMPTY_IDS
+            self._topo_dirty = _EMPTY_IDS
+            cost = CostModel(self.config.cluster).summarize(metrics, check_memory=check_memory)
+            elapsed = time.perf_counter() - started
+            result = InferenceResult(
+                scores=outputs["scores"],
+                embeddings=outputs.get("embeddings"),
+                cost=cost,
+                metrics=metrics,
+                plan=plan.strategy_plan,
+                num_supersteps=plan.num_supersteps,
+                elapsed_seconds=elapsed,
+            )
+            self._last_result = result
+            self._num_runs += 1
+            self._total_wall_clock_seconds += cost.wall_clock_seconds
+            self._total_cpu_minutes += cost.cpu_minutes
+            self._total_bytes += cost.total_bytes
+            self._total_elapsed_seconds += elapsed
+            return result
 
     def infer_many(self, n: int, check_memory: bool = False) -> List[InferenceResult]:
         """Run ``n`` repeated executions against the cached plan.
@@ -488,4 +560,6 @@ class InferenceSession:
             total_wall_clock_seconds=self._total_wall_clock_seconds,
             total_cpu_minutes=self._total_cpu_minutes,
             total_bytes=self._total_bytes,
+            total_elapsed_seconds=self._total_elapsed_seconds,
+            last_elapsed_seconds=last.elapsed_seconds if last is not None else 0.0,
         )

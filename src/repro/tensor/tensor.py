@@ -13,30 +13,42 @@ that keeps the substrate auditable while still being a real training engine
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+# Per-thread, like torch: the serving tier runs inference (always wrapped in
+# no_grad by the backend adaptors) on worker threads concurrently with other
+# threads; a process-wide flag would let interleaved save/restore pairs leave
+# gradient tracking disabled for everyone.
+_grad_state = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_grad_state, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables gradient tracking (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables gradient tracking (inference mode).
+
+    The flag is thread-local: disabling gradients on one thread never
+    affects tensors built concurrently on another.
+    """
+    previous = _grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _grad_state.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient recording is currently active."""
-    return _GRAD_ENABLED
+    """Return whether gradient recording is active on this thread."""
+    return _grad_enabled()
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -83,7 +95,7 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         self.data: np.ndarray = np.asarray(data, dtype=dtype)
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and _grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple[Tensor, ...] = ()
         self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
@@ -160,7 +172,7 @@ class Tensor:
         backward_fn: Optional[Callable[[np.ndarray], None]],
     ) -> "Tensor":
         parents = tuple(parents)
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents

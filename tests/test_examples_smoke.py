@@ -31,7 +31,7 @@ def test_all_examples_are_discovered():
     names = {path.stem for path in EXAMPLES}
     assert {"quickstart", "incremental_serving", "multi_tenant_pool",
             "fraud_detection_powerlaw", "backend_tradeoff_mag240m",
-            "pregel_pagerank"} <= names
+            "pregel_pagerank", "async_gateway"} <= names
 
 
 @pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.stem)

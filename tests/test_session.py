@@ -176,6 +176,24 @@ class TestReport:
             sum(r.cost.cpu_minutes for r in results))
         assert "pregel" in report.describe()
 
+    def test_report_tracks_measured_wall_clock(self, community):
+        # elapsed_seconds is the *measured* per-infer wall clock (distinct
+        # from the simulated cluster cost model) — the single latency source
+        # of truth the pool's totals and the gateway's percentiles read.
+        model = build_model("sage", community.feature_dim, 8, 4, seed=4)
+        session = InferenceSession(model, InferenceConfig(backend="pregel",
+                                                          num_workers=2))
+        session.prepare(community)
+        results = session.infer_many(3)
+        assert all(r.elapsed_seconds > 0.0 for r in results)
+        report = session.report()
+        assert report.total_elapsed_seconds == pytest.approx(
+            sum(r.elapsed_seconds for r in results))
+        assert report.last_elapsed_seconds == results[-1].elapsed_seconds
+        assert report.mean_elapsed_seconds == pytest.approx(
+            report.total_elapsed_seconds / 3)
+        assert "measured" in report.describe()
+
 
 class TestShimParity:
     @pytest.mark.parametrize("backend", ["pregel", "mapreduce"])

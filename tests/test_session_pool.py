@@ -9,6 +9,8 @@ keep hitting.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -313,6 +315,45 @@ class TestDeltaRouting:
         solo.prepare(reference)
         np.testing.assert_array_equal(scores, solo.infer().scores)
 
+    def test_concurrent_deferred_deltas_coalesce_into_one_flush(self):
+        # Many threads defer disjoint feature patches onto one tenant; the
+        # single infer that follows flushes them as one merged plan patch,
+        # bit-identical to a session prepared from the final content.
+        pool = SessionPool(make_model(), make_config(), capacity=2)
+        graph = make_graph(35)
+        pool.infer(graph)
+        session = pool.session_for(graph)
+        rng = np.random.default_rng(7)
+        ids = rng.choice(graph.num_nodes, size=32, replace=False)
+        rows = rng.standard_normal((32, 8))
+        chunks = [(ids[i:i + 4], rows[i:i + 4]) for i in range(0, 32, 4)]
+        errors = []
+
+        def worker(chunk_ids, chunk_rows):
+            try:
+                pool.apply_delta(graph, GraphDelta(node_ids=chunk_ids,
+                                                   node_features=chunk_rows),
+                                 defer=True)
+            except Exception as exc:       # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=chunk)
+                   for chunk in chunks]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert session.num_pending_deltas == len(chunks)
+
+        scores = pool.infer(graph, mode="incremental").scores
+        assert session.num_pending_deltas == 0
+        reference = make_graph(35)
+        reference.node_features[ids] = rows
+        solo = InferenceSession(make_model(), make_config())
+        solo.prepare(reference)
+        np.testing.assert_array_equal(scores, solo.infer().scores)
+
     def test_out_of_band_mutation_misses_instead_of_serving_stale(self):
         # Content addressing: a foreign in-place mutation changes the key, so
         # the pool plans the new content instead of serving the stale plan.
@@ -323,3 +364,215 @@ class TestDeltaRouting:
         after = pool.infer(graph).scores
         assert pool.stats.misses == 2 and len(pool) == 2
         assert not np.array_equal(before, after)
+
+
+class _BlockingBackend:
+    """Delegating spy whose execute() blocks until released (thread tests)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def default_cluster(self, num_workers):
+        return self._inner.default_cluster(num_workers)
+
+    def plan(self, model, graph, config):
+        return self._inner.plan(model, graph, config)
+
+    def execute(self, plan, metrics):
+        self.entered.set()
+        assert self.release.wait(timeout=30), "blocked execute never released"
+        return self._inner.execute(plan, metrics)
+
+    def apply_delta(self, plan, delta):
+        return self._inner.apply_delta(plan, delta)
+
+    def execute_incremental(self, plan, metrics, feature_dirty, topo_dirty):
+        return self._inner.execute_incremental(plan, metrics,
+                                               feature_dirty, topo_dirty)
+
+
+class TestThreadSafety:
+    def test_threaded_hammer_never_double_prepares(self):
+        # 8 threads hammer 3 shared tenants cold: the pool lock must ensure
+        # exactly one prepare per distinct content (misses == 3), with every
+        # thread served consistent scores.
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graphs = [make_graph(seed, num_nodes=200) for seed in (25, 26, 27)]
+        expected = {}
+        for graph in graphs:
+            solo = InferenceSession(make_model(), make_config())
+            solo.prepare(make_graph(graphs.index(graph) + 25, num_nodes=200))
+            expected[id(graph)] = solo.infer().scores
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id):
+            try:
+                barrier.wait(timeout=30)
+                for round_num in range(4):
+                    graph = graphs[(worker_id + round_num) % len(graphs)]
+                    scores = pool.infer(graph).scores
+                    np.testing.assert_array_equal(scores, expected[id(graph)])
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:1]
+        stats = pool.stats
+        assert stats.misses == 3, "concurrent cold lookups double-prepared"
+        assert stats.hits == 8 * 4 - 3
+        assert len(pool) == 3
+
+    def test_eviction_during_in_flight_infer_is_safe(self):
+        # Capacity 1: tenant B's arrival evicts tenant A's entry while A's
+        # infer is still executing.  Eviction close() waits for the in-flight
+        # run (session exec lock), so A still receives correct scores.
+        pool = SessionPool(make_model(), make_config(), capacity=1)
+        tenant_a, tenant_b = make_graph(28, 200), make_graph(29, 200)
+        pool.prepare(tenant_a)
+        session_a = pool.session_for(tenant_a)
+        gate = _BlockingBackend(session_a.backend)
+        session_a.backend = gate
+        holder = {}
+
+        def infer_a():
+            holder["scores"] = pool.infer(tenant_a).scores
+
+        thread_a = threading.Thread(target=infer_a)
+        thread_a.start()
+        assert gate.entered.wait(timeout=30)
+        # B's lookup takes the pool lock and waits inside close() for A's
+        # execute to finish; release it from a third thread after a beat.
+        releaser = threading.Timer(0.05, gate.release.set)
+        releaser.start()
+        scores_b = pool.infer(tenant_b).scores
+        thread_a.join(timeout=30)
+        releaser.join()
+        assert not thread_a.is_alive()
+
+        assert tenant_a not in pool and tenant_b in pool
+        assert pool.stats.evictions == 1
+        solo = InferenceSession(make_model(), make_config())
+        solo.prepare(make_graph(28, 200))
+        np.testing.assert_array_equal(holder["scores"], solo.infer().scores)
+        solo_b = InferenceSession(make_model(), make_config())
+        solo_b.prepare(make_graph(29, 200))
+        np.testing.assert_array_equal(scores_b, solo_b.infer().scores)
+
+
+class TestWeightedEviction:
+    def test_heavy_entry_survives_lighter_more_recent_entry(self):
+        # Weighted eviction reverses LRU here: the heavy (expensive-to-
+        # rebuild) plan is the least recently used, yet the light one dies.
+        pool = SessionPool(make_model(), make_config(), capacity=2)
+        heavy = make_graph(33, num_nodes=1200)
+        light = make_graph(34, num_nodes=150)
+        pool.session_for(heavy)
+        pool.session_for(light)            # light is now most recent
+        newcomer = make_graph(36, num_nodes=150)
+        pool.session_for(newcomer)         # over capacity: someone must go
+        assert light not in pool, "LRU would have evicted heavy instead"
+        assert heavy in pool and newcomer in pool
+        assert pool.stats.evictions == 1
+
+    def test_stale_heavy_entry_ages_out(self):
+        # weight/age decays: a heavy plan nobody touches loses to a light
+        # plan in active use — heaviness is not squatters' rights.
+        pool = SessionPool(make_model(), make_config(), capacity=2)
+        heavy = make_graph(33, num_nodes=1200)
+        light = make_graph(34, num_nodes=150)
+        pool.session_for(heavy)
+        for _ in range(30):                # age the heavy entry
+            pool.session_for(light)
+        pool.session_for(make_graph(36, num_nodes=150))
+        assert heavy not in pool and light in pool
+
+    def test_custom_weigher_pins_chosen_tenant(self):
+        # The weigher seam: measured prepare cost (or any policy) replaces
+        # the byte-size default.  Here a pin-weigher keeps one tenant
+        # resident through a stream of insertions that would evict it by LRU.
+        pinned = make_graph(37, num_nodes=150)
+        pinned_fingerprint = graph_fingerprint(pinned)
+
+        def pin_weigher(entry):
+            return 1e9 if entry.fingerprint == pinned_fingerprint else 1.0
+
+        pool = SessionPool(make_model(), make_config(), capacity=2,
+                           weigher=pin_weigher)
+        pool.session_for(pinned)
+        for seed in (38, 39, 41, 42):
+            pool.session_for(make_graph(seed, num_nodes=150))
+        assert pinned in pool
+        assert pool.stats.evictions == 3
+
+    def test_entries_expose_measured_prepare_cost(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        pool.session_for(make_graph(43, num_nodes=150))
+        pool.session_for(make_graph(44, num_nodes=1200))
+        small, large = pool.entries()
+        assert small.prepare_seconds > 0.0 and large.prepare_seconds > 0.0
+        assert large.graph_bytes > small.graph_bytes
+        assert small.weight == float(small.graph_bytes)     # default weigher
+        measured = SessionPool(make_model(), make_config(), capacity=4,
+                               weigher=lambda entry: entry.prepare_seconds)
+        measured.session_for(make_graph(43, num_nodes=150))
+        entry = measured.entries()[0]
+        assert entry.weight == entry.prepare_seconds
+
+
+class TestTTL:
+    def test_expired_entry_repreparess_transparently(self):
+        t = [0.0]
+        pool = SessionPool(make_model(), make_config(), capacity=4,
+                           ttl_seconds=10.0, clock=lambda: t[0])
+        graph = make_graph(45)
+        before = pool.infer(graph).scores
+        first_session = pool.session_for(graph)
+        t[0] = 9.99
+        assert graph in pool
+        t[0] = 10.0
+        assert graph not in pool           # TTL elapsed: entry is dead
+        after = pool.infer(graph).scores   # ...but serving just works
+        stats = pool.stats
+        assert stats.expirations == 1
+        assert stats.misses == 2           # the re-prepare is an honest miss
+        assert pool.session_for(graph) is not first_session
+        np.testing.assert_array_equal(before, after)
+
+    def test_purge_expired_sweeps_all_dead_entries(self):
+        t = [0.0]
+        pool = SessionPool(make_model(), make_config(), capacity=4,
+                           ttl_seconds=5.0, clock=lambda: t[0])
+        pool.session_for(make_graph(46))
+        t[0] = 3.0
+        pool.session_for(make_graph(47))   # expires later than the first
+        assert pool.purge_expired() == 0
+        t[0] = 5.0
+        assert pool.purge_expired() == 1   # only the first has expired
+        t[0] = 8.0
+        assert pool.purge_expired() == 1
+        assert len(pool) == 0
+        assert pool.stats.expirations == 2 and pool.stats.evictions == 0
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            SessionPool(make_model(), make_config(), ttl_seconds=0.0)
+
+
+class TestLatencyAccounting:
+    def test_pool_stats_track_measured_wall_clock(self):
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graph = make_graph(48)
+        results = [pool.infer(graph) for _ in range(3)]
+        stats = pool.stats
+        assert stats.total_prepare_seconds > 0.0
+        assert stats.total_infer_seconds == pytest.approx(
+            sum(result.elapsed_seconds for result in results))
+        assert "preparing" in stats.describe() and "serving" in stats.describe()
