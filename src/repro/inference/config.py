@@ -43,11 +43,13 @@ class GatewayConfig:
     Parameters
     ----------
     max_queue_depth:
-        Bound on *queued* infer requests per tenant.  A request arriving at a
-        full queue is rejected with :class:`repro.serving.Overloaded` (carrying
-        a ``retry_after`` hint) instead of being enqueued — admission control
+        Bound on a tenant's *outstanding* infer requests — queued plus
+        currently executing in its tick.  A request arriving at a full queue
+        is rejected with :class:`repro.serving.Overloaded` (carrying a
+        ``retry_after`` hint) instead of being enqueued — admission control
         rather than unbounded buffering, so a hot tenant cannot grow the
-        event loop's memory without bound.
+        event loop's memory without bound.  (With ``max_queue_depth=1``, a
+        request arriving mid-tick is rejected: one outstanding at a time.)
     max_batch:
         Maximum infer requests folded into one tick's single plan-cache-hit
         execution.  Same-mode requests batch together; a mode change starts

@@ -45,14 +45,19 @@ Typical multi-tenant flow::
     fresh = pool.infer(tenants[0], mode="incremental")
     print(pool.stats)
 
-The pool is **thread-safe**: an internal lock guards lookup, preparation,
-re-keying and eviction, so concurrent callers can never double-prepare one
-content or evict a session out from under another caller mid-bookkeeping
-(session execution itself runs *outside* the pool lock — different tenants'
-``infer()`` calls overlap; the per-session locks serialise same-session
-use, and eviction's ``close()`` waits for any in-flight run).  The asyncio
-serving gateway (:mod:`repro.serving`) drives exactly this from a worker
-thread pool.
+The pool is **thread-safe**, and its lock is deliberately cheap to hold.
+Every fingerprint (and the private copy a preparation runs over) is computed
+*inside* the pool lock — the same lock :meth:`SessionPool.apply_delta` holds
+while mirroring a delta onto a tenant's graph — so a concurrent lookup can
+never hash or copy arrays that are mid-mutation.  Everything slow runs
+*outside* it: ``prepare()`` is guarded by a per-fingerprint once-flag (two
+concurrent cold lookups of one content still yield exactly one preparation —
+the loser waits for the winner, then hits), ``session.infer()`` never
+touches the lock, and an evicted session's ``close()`` — which waits for
+any in-flight run on that session — happens only after the lock is
+released, so one tenant's eviction or cache miss never stalls another
+tenant's lookup.  The asyncio serving gateway (:mod:`repro.serving`) drives
+exactly this from a worker thread pool.
 """
 
 from __future__ import annotations
@@ -223,9 +228,14 @@ class SessionPool:
         self._weigher = weigher or default_weigher
         self._clock = clock
         self._entries: "OrderedDict[Fingerprint, PoolEntry]" = OrderedDict()
-        # Reentrant: bookkeeping methods call each other (lookup -> evict),
-        # and eviction's session.close() may wait on an in-flight infer.
+        # Guards all bookkeeping (entries, counters, fingerprinting of caller
+        # graphs).  Held only for cheap operations: preparation runs outside
+        # it behind the per-fingerprint once-flags in ``_preparing``, and
+        # detached sessions are closed after it is released.
         self._lock = threading.RLock()
+        # Fingerprints with a prepare() in flight; waiters block on the event
+        # (outside the pool lock) and re-run their lookup once it sets.
+        self._preparing: dict = {}
         # Monotonic pool-operation counter — the "age" clock weighted
         # eviction divides by.  Ticks on every lookup/touch.
         self._seq = 0
@@ -243,8 +253,11 @@ class SessionPool:
 
     def __contains__(self, graph: GraphLike) -> bool:
         """Whether ``graph`` (by current content) has a live prepared session."""
-        fingerprint = graph_fingerprint(InferenceSession._ingest(graph))
         with self._lock:
+            # Fingerprint under the lock: apply_delta mirrors deltas onto
+            # tenant graphs while holding it, so an unlocked hash could read
+            # half-mutated feature rows.
+            fingerprint = graph_fingerprint(InferenceSession._ingest(graph))
             entry = self._entries.get(fingerprint)
             return entry is not None and not self._expired(entry)
 
@@ -277,22 +290,33 @@ class SessionPool:
     def _expired(self, entry: PoolEntry) -> bool:
         return entry.expires_at is not None and self._clock() >= entry.expires_at
 
-    def _drop(self, entry: PoolEntry, *, expired: bool) -> None:
-        """Remove ``entry`` and release its resources (lock held)."""
+    def _detach(self, entry: PoolEntry, *, expired: bool) -> InferenceSession:
+        """Unlink ``entry`` and count the drop (lock held); caller closes.
+
+        ``session.close()`` waits on the victim's execution lock for any
+        in-flight run to finish, so it must never run under the pool lock —
+        every caller closes the returned session *after* releasing it, so one
+        tenant's eviction cannot stall every other tenant's lookup.
+        """
         self._entries.pop(entry.fingerprint, None)
-        entry.session.close()   # waits for any in-flight infer, then frees
         if expired:
             self._expirations += 1
         else:
             self._evictions += 1
+        return entry.session
+
+    def _purge_expired_locked(self) -> List[InferenceSession]:
+        """Detach every TTL-dead entry (lock held); caller closes them."""
+        stale = [entry for entry in self._entries.values() if self._expired(entry)]
+        return [self._detach(entry, expired=True) for entry in stale]
 
     def purge_expired(self) -> int:
         """Drop every entry whose TTL elapsed; returns how many were dropped."""
         with self._lock:
-            stale = [entry for entry in self._entries.values() if self._expired(entry)]
-            for entry in stale:
-                self._drop(entry, expired=True)
-            return len(stale)
+            victims = self._purge_expired_locked()
+        for session in victims:
+            session.close()
+        return len(victims)
 
     def _eviction_score(self, entry: PoolEntry) -> Tuple[float, int]:
         """Smaller evicts first: ``weight / age``, recency breaking ties.
@@ -305,13 +329,19 @@ class SessionPool:
         age = max(1, self._seq - entry.last_used_seq + 1)
         return (entry.weight / age, entry.last_used_seq)
 
-    def _evict_over_capacity(self) -> None:
-        """Shrink to ``capacity`` (lock held): expired first, then by score."""
+    def _evict_over_capacity_locked(self) -> List[InferenceSession]:
+        """Shrink to ``capacity`` (lock held): expired first, then by score.
+
+        Returns the detached sessions for the caller to close outside the
+        lock.
+        """
+        victims: List[InferenceSession] = []
         if len(self._entries) > self.capacity:
-            self.purge_expired()
+            victims.extend(self._purge_expired_locked())
         while len(self._entries) > self.capacity:
             victim = min(self._entries.values(), key=self._eviction_score)
-            self._drop(victim, expired=False)
+            victims.append(self._detach(victim, expired=False))
+        return victims
 
     def _touch(self, entry: PoolEntry) -> None:
         self._seq += 1
@@ -323,42 +353,84 @@ class SessionPool:
     def _lookup(self, graph: GraphLike) -> Tuple[Fingerprint, InferenceSession]:
         """Get-or-create the session covering ``graph``'s current content.
 
-        Runs fully under the pool lock: two concurrent callers handing in the
-        same content get one prepared session, never a double prepare — one
-        blocks on the lock while the other runs the (one-off) preparation.
+        The fingerprint — and, on a miss, the private copy preparation runs
+        over — is computed **inside** the pool lock: :meth:`apply_delta`
+        mirrors deltas onto tenant graphs under the same lock, so a lookup
+        can never hash (or snapshot) arrays that are mid-mutation.
+        ``prepare()`` itself runs *outside* the lock over that stable private
+        copy, guarded by a per-fingerprint once-flag: two concurrent callers
+        handing in the same content still get exactly one preparation (the
+        loser waits on the flag, then re-looks and hits), and a slow prepare
+        never blocks other tenants' lookups.
         """
-        ingested = InferenceSession._ingest(graph)
-        fingerprint = graph_fingerprint(ingested)
-        with self._lock:
-            entry = self._entries.get(fingerprint)
-            if entry is not None and self._expired(entry):
-                # TTL elapsed: drop and fall through to a transparent
-                # re-prepare (counted as a miss — the tenant pays plan cost).
-                self._drop(entry, expired=True)
-                entry = None
-            if entry is not None:
-                self._hits += 1
-                self._touch(entry)
-                return fingerprint, entry.session
-            self._misses += 1
+        while True:
+            claimed = False
+            expired_session: Optional[InferenceSession] = None
+            with self._lock:
+                ingested = InferenceSession._ingest(graph)
+                fingerprint = graph_fingerprint(ingested)
+                entry = self._entries.get(fingerprint)
+                if entry is not None and self._expired(entry):
+                    # TTL elapsed: drop and fall through to a transparent
+                    # re-prepare (counted as a miss — the tenant pays plan
+                    # cost).  The dead session closes outside the lock.
+                    expired_session = self._detach(entry, expired=True)
+                    entry = None
+                if entry is not None:
+                    self._hits += 1
+                    self._touch(entry)
+                    return fingerprint, entry.session
+                pending = self._preparing.get(fingerprint)
+                if pending is None:
+                    # Claim the (one-off) preparation for this content; the
+                    # snapshot taken here is what prepare() runs over, so no
+                    # later mirror can reach it.
+                    pending = threading.Event()
+                    self._preparing[fingerprint] = pending
+                    claimed = True
+                    self._misses += 1
+                    private = _private_copy(ingested)
+                    graph_bytes = _graph_bytes(ingested)
+            if expired_session is not None:
+                expired_session.close()
+            if not claimed:
+                # Another thread is preparing this content; wait outside the
+                # lock, then re-look (normally a hit — unless the preparer
+                # failed or the fresh entry was already evicted, in which
+                # case this caller claims the retry).
+                pending.wait()
+                continue
             session = InferenceSession(self.model, self.config)
             started = time.perf_counter()
-            session.prepare(_private_copy(ingested))
+            try:
+                session.prepare(private)
+            except BaseException:
+                # Release the claim so a waiter can retry (and surface its
+                # own error if the content is truly unpreparable).
+                with self._lock:
+                    self._preparing.pop(fingerprint, None)
+                pending.set()
+                raise
             prepare_seconds = time.perf_counter() - started
-            self._prepare_seconds += prepare_seconds
-            self._seq += 1
-            entry = PoolEntry(
-                fingerprint=fingerprint,
-                session=session,
-                graph_bytes=_graph_bytes(ingested),
-                prepare_seconds=prepare_seconds,
-                last_used_seq=self._seq,
-                expires_at=(None if self.ttl_seconds is None
-                            else self._clock() + self.ttl_seconds),
-            )
-            entry.weight = float(self._weigher(entry))
-            self._entries[fingerprint] = entry
-            self._evict_over_capacity()
+            with self._lock:
+                self._prepare_seconds += prepare_seconds
+                self._seq += 1
+                entry = PoolEntry(
+                    fingerprint=fingerprint,
+                    session=session,
+                    graph_bytes=graph_bytes,
+                    prepare_seconds=prepare_seconds,
+                    last_used_seq=self._seq,
+                    expires_at=(None if self.ttl_seconds is None
+                                else self._clock() + self.ttl_seconds),
+                )
+                entry.weight = float(self._weigher(entry))
+                self._entries[fingerprint] = entry
+                victims = self._evict_over_capacity_locked()
+                self._preparing.pop(fingerprint, None)
+            pending.set()
+            for victim in victims:
+                victim.close()
             return fingerprint, session
 
     def _rekey(self, fingerprint: Fingerprint,
@@ -375,23 +447,33 @@ class SessionPool:
         holds *this* session), there is nothing left to move — re-inserting
         under a stale fingerprint would duplicate the session in the cache.
         """
-        if new_fingerprint is None:
-            return
         with self._lock:
-            entry = self._entries.get(fingerprint)
-            if entry is None or entry.session is not session:
-                return
-            if new_fingerprint == fingerprint:
-                return
-            self._entries.pop(fingerprint, None)
-            displaced = self._entries.get(new_fingerprint)
-            if displaced is not None and displaced.session is not session:
-                # Two tenants converged to the same content: the fresher
-                # session replaces the resident one — one plan per content.
-                self._drop(displaced, expired=False)
-            entry.fingerprint = new_fingerprint
-            self._entries[new_fingerprint] = entry
-            self._entries.move_to_end(new_fingerprint)
+            victims = self._rekey_locked(fingerprint, new_fingerprint, session)
+        for victim in victims:
+            victim.close()
+
+    def _rekey_locked(self, fingerprint: Fingerprint,
+                      new_fingerprint: Optional[Fingerprint],
+                      session: InferenceSession) -> List[InferenceSession]:
+        """:meth:`_rekey` body (lock held); returns sessions to close."""
+        if new_fingerprint is None:
+            return []
+        entry = self._entries.get(fingerprint)
+        if entry is None or entry.session is not session:
+            return []
+        if new_fingerprint == fingerprint:
+            return []
+        self._entries.pop(fingerprint, None)
+        displaced = self._entries.get(new_fingerprint)
+        victims: List[InferenceSession] = []
+        if displaced is not None and displaced.session is not session:
+            # Two tenants converged to the same content: the fresher
+            # session replaces the resident one — one plan per content.
+            victims.append(self._detach(displaced, expired=False))
+        entry.fingerprint = new_fingerprint
+        self._entries[new_fingerprint] = entry
+        self._entries.move_to_end(new_fingerprint)
+        return victims
 
     # ------------------------------------------------------------------ #
     def session_for(self, graph: GraphLike) -> InferenceSession:
@@ -447,12 +529,19 @@ class SessionPool:
         fingerprint.  A graph not in the pool is prepared first; the delta
         then lands on that fresh plan.
 
-        The whole routine runs under the pool lock, making the
-        lookup→patch→mirror→re-key sequence atomic against concurrent pool
-        callers.  With ``defer=True`` the patch is a fast buffer merge that
-        may overlap the same session's in-flight execution (the serving
-        gateway's tick-overlap path); an *eager* delta blocks until any
-        in-flight run on that session finishes.
+        Concurrency: the patch→mirror→re-key sequence holds the session's
+        delta-routing lock (see
+        :meth:`~repro.inference.session.InferenceSession.delta_route_lock`),
+        so concurrent deltas to one tenant apply to the session's private
+        copy and the caller's handle in the **same order** — the two can
+        never diverge.  The mirror and re-key additionally run under the
+        pool lock, the same lock every lookup fingerprints under, so no
+        reader ever hashes a half-mirrored graph.  With ``defer=True`` the
+        patch is a fast buffer merge that may overlap the same session's
+        in-flight execution (the serving gateway's tick-overlap path); an
+        *eager* delta blocks until any in-flight run on that session
+        finishes — without holding the pool lock, so other tenants' lookups
+        keep flowing while it waits.
 
         Only in-memory :class:`~repro.graph.graph.Graph` tenants can apply
         deltas through the pool: a ``(NodeTable, EdgeTable)`` pair is
@@ -466,16 +555,27 @@ class SessionPool:
                 "(NodeTable, EdgeTable) pair is re-ingested per lookup, so a "
                 "delta applied to it would be lost on the next infer().  "
                 "Convert once with tables_to_graph() and hand the Graph in")
-        with self._lock:
-            fingerprint, session = self._lookup(graph)
+        fingerprint, session = self._lookup(graph)
+        with session.delta_route_lock(defer=defer):
             outcome = session.apply_delta(delta, defer=defer)
-            # Mirror onto the caller's handle.  The session already validated
-            # the delta against byte-identical content, so this cannot
-            # half-apply.
-            if not delta.is_empty:
-                apply_delta_to_graph(graph, delta)
-            self._rekey(fingerprint, graph_fingerprint(graph), session)
-            return outcome
+            with self._lock:
+                # Mirror onto the caller's handle.  The session already
+                # validated the delta against byte-identical content, so this
+                # cannot half-apply; under the pool lock, so no concurrent
+                # lookup fingerprints the graph mid-mirror.
+                if not delta.is_empty:
+                    apply_delta_to_graph(graph, delta)
+                # A concurrent delta between the lookup and the route lock
+                # may already have moved this session's entry, so re-key from
+                # wherever it lives *now* (identity, not the looked-up
+                # fingerprint) — entries are few, the scan is cheap.
+                current = next((key for key, entry in self._entries.items()
+                                if entry.session is session), fingerprint)
+                victims = self._rekey_locked(current,
+                                             graph_fingerprint(graph), session)
+        for victim in victims:
+            victim.close()
+        return outcome
 
     def evict(self, graph: GraphLike) -> bool:
         """Drop the session for ``graph``'s current content; True if present.
@@ -486,19 +586,22 @@ class SessionPool:
         delta onto the caller's graph at apply time, so the tenant's next
         appearance re-prepares from content that already includes them.
         """
-        fingerprint = graph_fingerprint(InferenceSession._ingest(graph))
         with self._lock:
+            fingerprint = graph_fingerprint(InferenceSession._ingest(graph))
             entry = self._entries.get(fingerprint)
             if entry is None:
                 return False
-            self._drop(entry, expired=False)
-            return True
+            victim = self._detach(entry, expired=False)
+        victim.close()
+        return True
 
     def clear(self) -> None:
         """Drop every cached session (counters keep accumulating)."""
         with self._lock:
-            for entry in list(self._entries.values()):
-                self._drop(entry, expired=False)
+            victims = [self._detach(entry, expired=False)
+                       for entry in list(self._entries.values())]
+        for victim in victims:
+            victim.close()
 
     def describe(self) -> str:
         backend = self.config.backend

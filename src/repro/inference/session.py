@@ -68,8 +68,9 @@ class InferenceResult:
     plan: StrategyPlan
     embeddings: Optional[np.ndarray] = None
     num_supersteps: int = 0
-    #: Real wall-clock seconds this ``infer()`` call took (deferred-delta
-    #: flush included) — the per-request latency sample serving tiers
+    #: Real wall-clock seconds this ``infer()`` call took once it held the
+    #: execution lock (deferred-delta flush included, queueing behind another
+    #: thread's run excluded) — the per-request latency sample serving tiers
     #: aggregate into percentiles, measured here so every consumer shares one
     #: source of truth instead of wrapping its own timer around the call.
     elapsed_seconds: float = 0.0
@@ -311,6 +312,23 @@ class InferenceSession:
                 "and call session.apply_delta(delta), or call "
                 "session.prepare(graph) to re-plan from scratch")
 
+    def delta_route_lock(self, defer: bool = False) -> threading.RLock:
+        """The lock a delta *router* holds to pair :meth:`apply_delta` with
+        its own bookkeeping — mirroring the delta onto a tenant handle,
+        re-keying a cache entry — atomically per session.
+
+        :class:`~repro.inference.pool.SessionPool` holds this across its
+        patch→mirror→re-key sequence so concurrent deltas to one session
+        apply to the private copy and the caller's graph in the same order.
+        Both locks are reentrant, so the guarded ``apply_delta(delta,
+        defer=...)`` call (which takes the matching lock itself) is safe.
+        ``defer=True`` returns the mutate lock — held only for the buffer
+        merge, so deferred routing may overlap this session's in-flight
+        execution; eager routing returns the execution lock and serialises
+        with any running ``infer()``, exactly as the eager apply itself does.
+        """
+        return self._mutate_lock if defer else self._exec_lock
+
     def apply_delta(self, delta: GraphDelta, defer: bool = False) -> DeltaOutcome:
         """Fold a :class:`~repro.inference.delta.GraphDelta` into the session.
 
@@ -478,8 +496,12 @@ class InferenceSession:
         """
         if mode not in ("full", "incremental"):
             raise ValueError(f"mode must be 'full' or 'incremental', got {mode!r}")
-        started = time.perf_counter()
         with self._exec_lock:
+            # Clock starts *after* the execution lock is acquired: a caller
+            # queued behind another thread's run would otherwise record lock
+            # wait as inference latency, inflating serving percentiles and
+            # retry-after estimates exactly when contention makes them matter.
+            started = time.perf_counter()
             if graph is not None and not self._is_prepared_for(graph):
                 self.prepare(graph)
             if self._plan is None:

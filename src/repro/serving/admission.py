@@ -2,10 +2,11 @@
 
 A serving front-end that buffers without bound converts overload into memory
 exhaustion and unbounded tail latency; the gateway instead *rejects at the
-door*.  Each tenant's queue holds at most ``max_queue_depth`` pending infer
-requests — one more raises :class:`Overloaded` immediately, before anything
-touches the session pool, so a rejected request provably leaves pool state
-(entries, counters, deferred buffers) untouched.
+door*.  Each tenant holds at most ``max_queue_depth`` **outstanding** infer
+requests — queued plus those executing in the current tick — and one more
+raises :class:`Overloaded` immediately, before anything touches the session
+pool, so a rejected request provably leaves pool state (entries, counters,
+deferred buffers) untouched.
 
 The ``retry_after`` hint is an estimate of when the queue will have drained
 enough to admit the caller: ``ticks_to_drain * recent mean tick latency``,
@@ -24,7 +25,7 @@ class Overloaded(Exception):
 
     Raised by the gateway *before* the request is enqueued or any pool state
     is touched.  ``tenant_id`` names the saturated queue; ``queue_depth`` is
-    its depth at rejection time.
+    its outstanding-request count (queued plus executing) at rejection time.
     """
 
     def __init__(self, tenant_id: str, queue_depth: int,
@@ -34,7 +35,7 @@ class Overloaded(Exception):
         self.retry_after = retry_after
         super().__init__(
             f"tenant {tenant_id!r} is overloaded ({queue_depth} requests "
-            f"queued); retry after {retry_after:.3f}s")
+            f"outstanding); retry after {retry_after:.3f}s")
 
 
 class AdmissionController:

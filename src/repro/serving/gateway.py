@@ -240,8 +240,9 @@ class ServingGateway:
         Concurrent requests for one tenant (same ``mode``) are served by a
         single execution — every caller receives the same
         :class:`~repro.inference.session.InferenceResult`.  Raises
-        :class:`~repro.serving.admission.Overloaded` when the tenant's queue
-        is full; the rejected request touches no pool state.
+        :class:`~repro.serving.admission.Overloaded` when the tenant already
+        has ``max_queue_depth`` requests outstanding (queued plus executing);
+        the rejected request touches no pool state.
         """
         self._require_open()
         if mode not in ("full", "incremental"):

@@ -430,6 +430,122 @@ class TestThreadSafety:
         assert stats.hits == 8 * 4 - 3
         assert len(pool) == 3
 
+    def test_concurrent_deltas_and_infers_never_tear_fingerprints(self):
+        # Regression: apply_delta mirrors the delta onto the caller's graph
+        # under the pool lock, and every lookup fingerprints under that same
+        # lock — so an infer racing a delta must see either fully pre- or
+        # fully post-delta content, with the cache entry keyed to match.  A
+        # torn read would surface as a spurious miss (re-preparing from
+        # half-mutated arrays); with one tenant the pool must miss exactly
+        # once, ever.
+        pool = SessionPool(make_model(), make_config(), capacity=4)
+        graph = make_graph(55, num_nodes=200)
+        pool.prepare(graph)
+        rng = np.random.default_rng(7)
+        deltas = [GraphDelta(node_ids=rng.choice(200, size=5, replace=False),
+                             node_features=rng.standard_normal((5, 8)))
+                  for _ in range(12)]
+        errors = []
+
+        def writer():
+            try:
+                for delta in deltas:
+                    pool.apply_delta(graph, delta, defer=True)
+            except Exception as exc:       # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(6):
+                    pool.infer(graph)
+            except Exception as exc:       # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:1]
+        assert pool.stats.misses == 1, \
+            "a lookup fingerprinted a half-mirrored graph"
+
+        reference = make_graph(55, num_nodes=200)
+        for delta in deltas:               # single writer: in-order content
+            reference.node_features[delta.node_ids] = delta.node_features
+        solo = InferenceSession(make_model(), make_config())
+        solo.prepare(reference)
+        np.testing.assert_array_equal(pool.infer(graph).scores,
+                                      solo.infer().scores)
+
+    def test_slow_prepare_does_not_block_other_tenants(self):
+        # Regression: a cache miss's prepare() runs outside the pool lock
+        # (per-fingerprint once-guard), so one tenant's slow planning must
+        # not stall another tenant's lookup.
+        from repro.inference.backends import (get_backend, register_backend,
+                                              unregister_backend)
+
+        inner = get_backend("pregel")
+        first_plan_entered = threading.Event()
+        release_first_plan = threading.Event()
+
+        class GatedPlanBackend:
+            """Delegates to pregel; the FIRST plan() blocks until released."""
+            name = "gated-pregel-test"
+
+            def __init__(self):
+                self._gated = [True]
+
+            def default_cluster(self, num_workers):
+                return inner.default_cluster(num_workers)
+
+            def plan(self, model, graph, config):
+                gate, self._gated[0] = self._gated[0], False
+                if gate:
+                    first_plan_entered.set()
+                    assert release_first_plan.wait(timeout=60)
+                return inner.plan(model, graph, config)
+
+            def execute(self, plan, metrics):
+                return inner.execute(plan, metrics)
+
+            def apply_delta(self, plan, delta):
+                return inner.apply_delta(plan, delta)
+
+            def execute_incremental(self, plan, metrics,
+                                    feature_dirty, topo_dirty):
+                return inner.execute_incremental(plan, metrics,
+                                                 feature_dirty, topo_dirty)
+
+        register_backend("gated-pregel-test")(GatedPlanBackend)
+        try:
+            config = make_config()
+            config.backend = "gated-pregel-test"
+            pool = SessionPool(make_model(), config, capacity=4)
+            tenant_a, tenant_b = make_graph(56, 200), make_graph(57, 200)
+            thread_a = threading.Thread(target=pool.prepare, args=(tenant_a,))
+            thread_a.start()
+            assert first_plan_entered.wait(timeout=30)
+            # Failsafe so a regression fails the assertion below instead of
+            # deadlocking the suite.
+            failsafe = threading.Timer(20.0, release_first_plan.set)
+            failsafe.start()
+            scores_b = pool.infer(tenant_b).scores
+            a_still_planning = thread_a.is_alive()
+            release_first_plan.set()
+            thread_a.join(timeout=30)
+            failsafe.cancel()
+            assert a_still_planning, \
+                "tenant B's lookup waited for tenant A's prepare()"
+            assert tenant_a in pool and tenant_b in pool
+            solo = InferenceSession(make_model(), make_config())
+            solo.prepare(make_graph(57, 200))
+            np.testing.assert_array_equal(scores_b, solo.infer().scores)
+        finally:
+            release_first_plan.set()
+            unregister_backend("gated-pregel-test")
+
     def test_eviction_during_in_flight_infer_is_safe(self):
         # Capacity 1: tenant B's arrival evicts tenant A's entry while A's
         # infer is still executing.  Eviction close() waits for the in-flight
@@ -448,8 +564,8 @@ class TestThreadSafety:
         thread_a = threading.Thread(target=infer_a)
         thread_a.start()
         assert gate.entered.wait(timeout=30)
-        # B's lookup takes the pool lock and waits inside close() for A's
-        # execute to finish; release it from a third thread after a beat.
+        # B's miss evicts A and then waits — outside the pool lock — inside
+        # close() for A's execute to finish; release it after a beat.
         releaser = threading.Timer(0.05, gate.release.set)
         releaser.start()
         scores_b = pool.infer(tenant_b).scores
