@@ -1,11 +1,26 @@
-"""Legacy setup shim.
+"""Classic setuptools entry point.
 
 The execution environment has no ``wheel`` package available offline, so PEP
-517 editable installs (which build a wheel) fail.  This shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
-classic ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+517 editable installs (which build a wheel) fail.  This setup lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the classic
+``setup.py develop`` path.  Metadata is declared here directly (there is no
+``pyproject.toml``); ``package_data`` ships the ``py.typed`` marker so type
+checkers in downstream projects see the package's inline annotations
+(PEP 561).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-inferturbo",
+    version="0.8.0",
+    description="Reproduction of an InferTurbo-style big-graph GNN inference "
+                "system: Pregel/MapReduce backends, session pool, async "
+                "serving gateway, static-analysis contracts.",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    zip_safe=False,
+)

@@ -1,0 +1,74 @@
+"""Baseline (ratchet) support for the lint CLI.
+
+A baseline file grandfathers *existing* findings so the CI job can gate new
+violations from day one without requiring a flag-day cleanup.  Each line is a
+:attr:`~repro.analysis.findings.Finding.baseline_key` (``rule:path:line``);
+``#`` comments and blank lines are ignored.  Semantics:
+
+* a finding whose key appears in the baseline is **suppressed** — but every
+  suppression must be justified by a comment in the baseline file itself;
+* a finding *not* in the baseline **fails** the run — the ratchet only turns
+  one way;
+* a baseline entry that no longer matches any finding is **stale** and is
+  reported so it can be deleted (the ratchet tightening), without failing
+  the run — line drift from unrelated edits should not break CI.
+
+``python -m repro.analysis --update-baseline`` rewrites the file from the
+current findings (for the rare deliberate grandfathering).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+_HEADER = """\
+# repro.analysis baseline: grandfathered findings (rule:path:line per line).
+# New findings are NOT excused by this file -- the static-analysis CI job
+# fails on anything not listed here.  Keep this file empty if you can; every
+# entry you add must carry a comment explaining why the finding is accepted.
+"""
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The set of grandfathered ``rule:path:line`` keys in ``path``.
+
+    A missing file is an empty baseline (the common, healthy case).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return set()
+    entries: Set[str] = set()
+    for line in lines:
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            entries.add(stripped)
+    return entries
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Rewrite ``path`` to grandfather exactly the given findings."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_HEADER)
+        for finding in sorted(findings):
+            handle.write(f"{finding.baseline_key}  # {finding.message[:80]}\n")
+
+
+def partition_findings(findings: Iterable[Finding],
+                       baseline: Set[str]) -> Tuple[List[Finding], List[Finding], Set[str]]:
+    """Split findings into (new, grandfathered) and report stale entries."""
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    seen: Set[str] = set()
+    for finding in findings:
+        key = finding.baseline_key
+        if key in baseline:
+            grandfathered.append(finding)
+            seen.add(key)
+        else:
+            new.append(finding)
+    stale = baseline - seen
+    return new, grandfathered, stale

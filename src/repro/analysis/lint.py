@@ -1,0 +1,172 @@
+"""The AST lint framework: rule registry, file walker, analysis driver.
+
+Rules are plugins, registered exactly the way inference backends are
+(:func:`repro.inference.backends.register_backend`): a class decorated with
+:func:`register_rule` is instantiated once and becomes reachable by name.
+Each rule sees one :class:`ModuleSource` at a time — the parsed AST plus the
+raw source lines (comments matter to some contracts) — and yields structured
+:class:`~repro.analysis.findings.Finding` objects.
+
+The framework is dependency-light on purpose: no numpy, no inference imports,
+stdlib ``ast`` only — so ``python -m repro.analysis`` stays runnable in a
+bare CI container before the package's heavier dependencies are installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Type,
+)
+
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class ModuleSource:
+    """One Python file under analysis: location, raw text, parsed AST."""
+
+    #: Path as reported in findings (posix separators, relative to the
+    #: analysis root the walker was given).
+    path: str
+    text: str
+    tree: ast.Module = field(repr=False)
+    lines: List[str] = field(repr=False)
+
+    @classmethod
+    def parse(cls, path: str, display_path: Optional[str] = None) -> "ModuleSource":
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        shown = (display_path or path).replace(os.sep, "/")
+        return cls(path=shown, text=text,
+                   tree=ast.parse(text, filename=shown),
+                   lines=text.splitlines())
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(path=self.path, line=getattr(node, "lineno", 0),
+                       rule=rule, message=message)
+
+
+class LintRule(Protocol):
+    """The protocol every registered rule implements.
+
+    ``name`` is the registry key (and the prefix of baseline entries);
+    ``check`` yields findings for one module.  Rules decide themselves which
+    paths they apply to — the framework hands every walked file to every
+    rule, so a rule guarding one layer returns early on everything else
+    (see the ``applies_to`` methods in :mod:`repro.analysis.rules`).
+    """
+
+    name: str
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        ...
+
+
+class UnknownRuleError(ValueError):
+    """Raised when a rule name is not in the registry."""
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register_rule(name: str) -> Callable[[Type[Any]], Type[Any]]:
+    """Class decorator registering a :class:`LintRule` implementation.
+
+    Mirrors ``register_backend``: the class is instantiated once (rules are
+    stateless) and double registration is an error so a plugin cannot
+    silently replace a built-in contract.
+    """
+
+    def decorator(cls: Type[Any]) -> Type[Any]:
+        if name in _REGISTRY:
+            raise ValueError(
+                f"lint rule {name!r} is already registered "
+                f"(by {type(_REGISTRY[name]).__name__}); pick a different "
+                f"name or unregister_rule({name!r}) first")
+        cls.name = name
+        _REGISTRY[name] = cls()
+        return cls
+
+    return decorator
+
+
+def unregister_rule(name: str) -> None:
+    """Remove a rule from the registry (mainly for tests and plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_rule(name: str) -> LintRule:
+    """Look up a registered rule by name, with a helpful error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(repr(n) for n in sorted(_REGISTRY)) or "<none>"
+        raise UnknownRuleError(
+            f"unknown lint rule {name!r}; registered rules: {known}") from None
+
+
+def available_rules() -> Set[str]:
+    """The names of all currently registered rules."""
+    return set(_REGISTRY)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted.
+
+    Hidden directories and ``__pycache__`` are skipped; the walk order is
+    sorted so findings (and therefore baselines) are stable across machines.
+    """
+    for root in paths:
+        if os.path.isfile(root):
+            if root.endswith(".py"):
+                yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if not d.startswith(".") and d != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def run_analysis(paths: Sequence[str],
+                 rules: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over every file under ``paths``.
+
+    A file that fails to parse produces a single ``parse-error`` finding
+    instead of aborting the run — CI should report the broken file, not
+    crash the linter.
+    """
+    selected = ([get_rule(name) for name in rules] if rules is not None
+                else [_REGISTRY[name] for name in sorted(_REGISTRY)])
+    findings: List[Finding] = []
+    for filepath in iter_python_files(paths):
+        try:
+            module = ModuleSource.parse(filepath)
+        except SyntaxError as error:
+            findings.append(Finding(path=filepath.replace(os.sep, "/"),
+                                    line=error.lineno or 0, rule="parse-error",
+                                    message=f"file does not parse: {error.msg}"))
+            continue
+        for rule in selected:
+            findings.extend(rule.check(module))
+    return sorted(findings)

@@ -1,0 +1,464 @@
+"""The repo-specific lint rules: one executable contract per past incident.
+
+Each rule class documents the invariant it encodes and the commit/review
+finding that motivated it.  Rules are lexical (AST-level) by design: they
+check the *shape* the concurrency and determinism contracts require, not
+runtime behaviour — the runtime half lives in :mod:`repro.analysis.lockgraph`
+and the test suites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint import ModuleSource, register_rule
+
+# --------------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------------- #
+
+
+def path_components(path: str) -> List[str]:
+    """The posix path split into components (for layer matching)."""
+    return [part for part in path.split("/") if part]
+
+
+def basename(path: str) -> str:
+    return path_components(path)[-1] if path_components(path) else ""
+
+
+def walk_excluding_defs(nodes: Iterable[ast.AST]) -> Iterator[ast.AST]:
+    """Walk ``nodes`` depth-first without entering nested function bodies.
+
+    Code inside a nested ``def``/``lambda`` executes later, outside the
+    lexical scope being analysed (e.g. a callback defined under a lock does
+    not *run* under it), so scope-sensitive rules skip those subtrees.
+    """
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue        # the def statement itself is in scope; its body is not
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def call_name(node: ast.Call) -> str:
+    """The trailing name of a call target (``a.b.c()`` -> ``"c"``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def is_self_attribute(node: ast.AST, attrs: Set[str]) -> bool:
+    """Whether ``node`` is ``self.<attr>`` for one of ``attrs``."""
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in attrs)
+
+
+def lock_with_bodies(tree: ast.Module,
+                     lock_attrs: Set[str]) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    """Every ``with self.<lock>:`` statement and its body, file-wide."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if is_self_attribute(item.context_expr, lock_attrs):
+                    yield node, node.body
+                    break
+
+
+def nodes_under_lock(tree: ast.Module, lock_attrs: Set[str]) -> Set[int]:
+    """ids of AST nodes lexically inside a ``with self.<lock>:`` body."""
+    covered: Set[int] = set()
+    for _, body in lock_with_bodies(tree, lock_attrs):
+        for node in walk_excluding_defs(body):
+            covered.add(id(node))
+    return covered
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Plain Levenshtein distance (small strings only)."""
+    if a == b:
+        return 0
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            current.append(min(previous[j] + 1, current[j - 1] + 1,
+                               previous[j - 1] + (char_a != char_b)))
+        previous = current
+    return previous[-1]
+
+
+# --------------------------------------------------------------------------- #
+# lock-discipline: no slow work under the pool lock        (incident: fcf99ca)
+# --------------------------------------------------------------------------- #
+
+
+@register_rule("lock-discipline")
+class LockDisciplineRule:
+    """No known-slow call lexically inside a ``with self._lock:`` block.
+
+    The PR-6 review found ``SessionPool`` holding its (single, global) lock
+    across ``prepare()`` and ``close()`` — one tenant's cache miss stalled
+    every other tenant's lookup, and an eviction could block behind an
+    in-flight run (fixed in fcf99ca by moving slow work outside the lock
+    behind per-fingerprint once-guards).  This rule keeps that shape: in the
+    serving-layer files, the pool-lock scope may only contain cheap
+    bookkeeping — never planning, execution, or session teardown.
+    """
+
+    name = "lock-discipline"
+    #: attribute names treated as the "cheap bookkeeping only" pool lock.
+    LOCK_ATTRS = {"_lock", "_pool_lock"}
+    #: operations that plan, execute, wait, or tear down — never under it.
+    SLOW_CALLS = {"prepare", "close", "infer", "infer_many", "plan",
+                  "execute", "flush_deltas", "apply_delta"}
+
+    def applies_to(self, path: str) -> bool:
+        return (basename(path) in {"pool.py", "session.py", "gateway.py"}
+                or "serving" in path_components(path)[:-1])
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not self.applies_to(module.path):
+            return
+        for _, body in lock_with_bodies(module.tree, self.LOCK_ATTRS):
+            for node in walk_excluding_defs(body):
+                if isinstance(node, ast.Call) and call_name(node) in self.SLOW_CALLS:
+                    yield module.finding(
+                        node, self.name,
+                        f"slow operation {call_name(node)}() called while "
+                        f"holding the pool lock; move it outside the "
+                        f"`with self._lock:` block (one tenant's slow path "
+                        f"must never stall every other tenant's lookup)")
+
+
+# --------------------------------------------------------------------------- #
+# fingerprint-under-lock: no tearing tenant hashes          (incident: fcf99ca)
+# --------------------------------------------------------------------------- #
+
+
+@register_rule("fingerprint-under-lock")
+class FingerprintUnderLockRule:
+    """``graph_fingerprint(...)`` in the pool only inside pool-lock scopes.
+
+    The fingerprint-tear race (fixed in fcf99ca): hashing a tenant graph
+    outside the pool lock can read arrays mid-mutation while a concurrent
+    ``apply_delta`` mirrors a delta onto the same graph under the lock — a
+    corrupted cache key that serves wrong scores.  Every fingerprint of a
+    tenant graph in ``pool.py`` must therefore happen under the same lock the
+    mirror holds.
+    """
+
+    name = "fingerprint-under-lock"
+    LOCK_ATTRS = LockDisciplineRule.LOCK_ATTRS
+
+    def applies_to(self, path: str) -> bool:
+        return basename(path) == "pool.py"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not self.applies_to(module.path):
+            return
+        covered = nodes_under_lock(module.tree, self.LOCK_ATTRS)
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and call_name(node) == "graph_fingerprint"
+                    and id(node) not in covered):
+                yield module.finding(
+                    node, self.name,
+                    "graph_fingerprint() on a tenant graph outside the pool "
+                    "lock can hash half-mutated arrays while apply_delta "
+                    "mirrors a delta under the lock (the fingerprint-tear "
+                    "race); compute it inside `with self._lock:`")
+
+
+# --------------------------------------------------------------------------- #
+# determinism: compute kernels must be replayable
+# --------------------------------------------------------------------------- #
+
+
+@register_rule("determinism")
+class DeterminismRule:
+    """No wall-clock, global RNG, or hash-ordered iteration in compute paths.
+
+    The executor contract (PR 5) promises bit-identical scores across the
+    serial and process substrates, and incremental inference (PR 3) promises
+    bit-identity against full recomputes — both break the moment a kernel
+    consults ``time.time()``, an unseeded global RNG, or iterates a hash-set
+    while accumulating.  ``time.perf_counter()`` is permitted only where its
+    value is *assigned* (metrics timing), never where it feeds computation.
+    """
+
+    name = "determinism"
+    COMPUTE_DIRS = {"pregel", "batch", "tensor", "gnn"}
+    #: np.random functions that produce *seeded* generators when given args.
+    SEEDABLE = {"default_rng", "Generator", "SeedSequence", "RandomState"}
+
+    def applies_to(self, path: str) -> bool:
+        return bool(self.COMPUTE_DIRS & set(path_components(path)[:-1]))
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not self.applies_to(module.path):
+            return
+        parents = {id(child): parent for parent in ast.walk(module.tree)
+                   for child in ast.iter_child_nodes(parent)}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, parents)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_loop(module, node)
+
+    def _check_call(self, module: ModuleSource, node: ast.Call,
+                    parents: Dict[int, ast.AST]) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = func.value
+        # time.time / datetime.now / datetime.utcnow
+        if isinstance(owner, ast.Name) and owner.id == "time":
+            if func.attr == "time":
+                yield module.finding(
+                    node, self.name,
+                    "time.time() in a compute path breaks replay determinism; "
+                    "use time.perf_counter() for metrics timing")
+            elif func.attr == "perf_counter" and not self._is_assigned(node, parents):
+                yield module.finding(
+                    node, self.name,
+                    "time.perf_counter() may only be assigned to a metrics "
+                    "variable/field in compute paths, never fed into "
+                    "computation")
+        elif (isinstance(owner, ast.Name) and owner.id == "datetime"
+              and func.attr in {"now", "utcnow", "today"}):
+            yield module.finding(
+                node, self.name,
+                f"datetime.{func.attr}() in a compute path breaks replay "
+                f"determinism")
+        # bare random.<fn>: the process-global, unseeded-per-worker RNG
+        elif isinstance(owner, ast.Name) and owner.id == "random":
+            yield module.finding(
+                node, self.name,
+                f"random.{func.attr}() uses the process-global RNG; compute "
+                f"paths must thread an explicitly seeded Generator instead")
+        # np.random.<fn>: global-state numpy RNG, or unseeded constructors
+        elif (isinstance(owner, ast.Attribute) and owner.attr == "random"
+              and isinstance(owner.value, ast.Name)
+              and owner.value.id in {"np", "numpy"}):
+            if func.attr not in self.SEEDABLE:
+                yield module.finding(
+                    node, self.name,
+                    f"np.random.{func.attr}() draws from numpy's global RNG; "
+                    f"compute paths must use an explicitly seeded "
+                    f"np.random.default_rng(seed)")
+            elif not node.args and not node.keywords:
+                yield module.finding(
+                    node, self.name,
+                    f"np.random.{func.attr}() without a seed is entropy-"
+                    f"seeded; compute paths must pass an explicit seed")
+
+    @staticmethod
+    def _is_assigned(node: ast.Call, parents: Dict[int, ast.AST]) -> bool:
+        """Whether the call value lands in an assignment or keyword argument.
+
+        ``started = time.perf_counter()`` and
+        ``record(measured_seconds=time.perf_counter() - started)`` are the
+        two sanctioned metrics-timing shapes.
+        """
+        current: ast.AST = node
+        while True:
+            parent = parents.get(id(current))
+            if parent is None:
+                return False
+            if isinstance(parent, ast.keyword):
+                return True
+            if isinstance(parent, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                return True
+            if isinstance(parent, ast.stmt):
+                return False
+            current = parent
+
+    def _check_loop(self, module: ModuleSource,
+                    node: ast.For) -> Iterator[Finding]:
+        iterated = node.iter
+        is_set_literal = isinstance(iterated, ast.Set)
+        is_set_call = (isinstance(iterated, ast.Call)
+                       and isinstance(iterated.func, ast.Name)
+                       and iterated.func.id in {"set", "frozenset"})
+        if is_set_literal or is_set_call:
+            yield module.finding(
+                node, self.name,
+                "iterating a hash-set in a compute path visits elements in "
+                "hash order, which differs across processes/seeds and makes "
+                "any accumulation order-dependent; iterate sorted(...) "
+                "instead")
+
+
+# --------------------------------------------------------------------------- #
+# broad-except hygiene
+# --------------------------------------------------------------------------- #
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    names = node.elts if isinstance(node, ast.Tuple) else [node]
+    return any(isinstance(name, ast.Name) and name.id in _BROAD_NAMES
+               for name in names)
+
+
+def _comment_text(line: str) -> str:
+    """The justification content of a line's comment, pragmas stripped.
+
+    ``# pragma: no cover`` and ``# noqa[:CODES]`` markers alone are tool
+    directives, not justifications; text beyond them counts.
+    """
+    if "#" not in line:
+        return ""
+    comment = line.split("#", 1)[1]
+    for marker in ("pragma: no cover", "pragma:no cover"):
+        comment = comment.replace(marker, "")
+    words = [w for w in comment.replace("-", " ").replace(":", " ").split()
+             if not (w == "noqa" or w.isupper())]
+    return " ".join(words)
+
+
+@register_rule("broad-except")
+class BroadExceptRule:
+    """Every ``except Exception`` must re-raise or justify itself.
+
+    A swallowed broad exception converted two real bugs into silent
+    degradation before this repo grew its serving tier (a typo'd backend
+    hook name and a worker-cleanup error both vanished into ``pass``
+    blocks).  Best-effort handlers are legitimate — worker teardown must
+    not mask the original failure — but each one must say so in a comment
+    on the ``except`` line (or the line just above/below it), so the next
+    reader can tell intent from accident.
+    """
+
+    name = "broad-except"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _handler_is_broad(node):
+                continue
+            if any(isinstance(inner, ast.Raise)
+                   for inner in walk_excluding_defs(node.body)):
+                continue
+            if self._has_justification(module, node):
+                continue
+            caught = ("bare except" if node.type is None else
+                      f"except {ast.unparse(node.type)}")
+            yield module.finding(
+                node, self.name,
+                f"{caught} neither re-raises nor carries a justification "
+                f"comment; narrow it to the concrete exception types, or "
+                f"add a comment explaining why best-effort is correct here")
+
+    @staticmethod
+    def _has_justification(module: ModuleSource,
+                           handler: ast.ExceptHandler) -> bool:
+        first_body_line = (handler.body[0].lineno if handler.body
+                           else handler.lineno)
+        candidates = range(handler.lineno - 1, first_body_line + 1)
+        return any(_comment_text(module.line_text(lineno))
+                   for lineno in candidates)
+
+
+# --------------------------------------------------------------------------- #
+# backend-protocol completeness
+# --------------------------------------------------------------------------- #
+
+
+@register_rule("backend-protocol")
+class BackendProtocolRule:
+    """Registered backends must implement the protocol — exactly.
+
+    The session discovers the optional delta hooks via ``getattr``, so a
+    typo'd hook name (``apply_deltas``, ``execute_incremenal``) never errors
+    — it silently degrades every delta to a full recompute, which is the
+    worst kind of performance bug: invisible until someone profiles.  This
+    rule checks every ``@register_backend`` class for the required surface
+    (``plan`` / ``execute`` / ``default_cluster``), verifies present optional
+    hooks match the protocol signatures *exactly*, and flags near-miss
+    method names as probable typos.
+    """
+
+    name = "backend-protocol"
+    REQUIRED = {"plan", "execute", "default_cluster"}
+    #: optional hook -> exact positional parameter names.
+    HOOKS = {
+        "apply_delta": ["self", "plan", "delta"],
+        "execute_incremental": ["self", "plan", "metrics",
+                                "feature_dirty", "topo_dirty"],
+    }
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and self._is_backend(node):
+                yield from self._check_backend(module, node)
+
+    @staticmethod
+    def _is_backend(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                func = decorator.func
+                name = (func.id if isinstance(func, ast.Name)
+                        else func.attr if isinstance(func, ast.Attribute)
+                        else "")
+                if name == "register_backend":
+                    return True
+        return False
+
+    def _check_backend(self, module: ModuleSource,
+                       node: ast.ClassDef) -> Iterator[Finding]:
+        methods = {stmt.name: stmt for stmt in node.body
+                   if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        for required in sorted(self.REQUIRED - set(methods)):
+            yield module.finding(
+                node, self.name,
+                f"backend class {node.name} is missing required protocol "
+                f"method {required}(); registration would fail at first use")
+        for hook, expected in self.HOOKS.items():
+            method = methods.get(hook)
+            if method is not None:
+                yield from self._check_hook_signature(module, method, expected)
+        for name, method in methods.items():
+            if name.startswith("_") or name in self.REQUIRED or name in self.HOOKS:
+                continue
+            for hook in self.HOOKS:
+                if edit_distance(name, hook) <= 2:
+                    yield module.finding(
+                        method, self.name,
+                        f"method {name}() looks like a misspelling of the "
+                        f"optional hook {hook}(); the session discovers hooks "
+                        f"by exact name via getattr, so this would silently "
+                        f"degrade every delta to a full recompute")
+
+    def _check_hook_signature(self, module: ModuleSource,
+                              method: ast.FunctionDef,
+                              expected: Sequence[str]) -> Iterator[Finding]:
+        args = method.args
+        actual = [arg.arg for arg in args.posonlyargs + args.args]
+        clean = (actual == list(expected)
+                 and not args.vararg and not args.kwarg
+                 and not args.kwonlyargs and not args.defaults)
+        if not clean:
+            yield module.finding(
+                method, self.name,
+                f"optional hook {method.name}({', '.join(actual)}) does not "
+                f"match the protocol signature "
+                f"{method.name}({', '.join(expected)}); the session calls "
+                f"hooks positionally, so a drifted signature fails (or "
+                f"worse, silently misbinds) at serving time")

@@ -74,6 +74,10 @@ def _is_picklable(value: Any) -> bool:
             pickle.dumps(value)
             return True
         except Exception:
+            # The probe's verdict IS the point: pickling arbitrary user jobs
+            # can raise anything (PicklingError, TypeError, RecursionError on
+            # cyclic closures); any failure means "run in-process" rather
+            # than crash the round.
             return False
     cached = _PICKLABLE_CACHE.get(type(value))
     if cached is not None:
@@ -82,6 +86,8 @@ def _is_picklable(value: Any) -> bool:
         pickle.dumps(value)
         verdict = True
     except Exception:
+        # Same contract as above: an unpicklable job class is a valid
+        # answer (degrade to the in-process round), never an error.
         verdict = False
     _PICKLABLE_CACHE[type(value)] = verdict
     return verdict

@@ -50,7 +50,9 @@ import traceback
 import weakref
 from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 import numpy as np
 
@@ -123,7 +125,7 @@ def _attach_segment_untracked(name: str) -> shared_memory.SharedMemory:
 
         original_register = resource_tracker.register
 
-        def _skip_shared_memory(resource_name, rtype):
+        def _skip_shared_memory(resource_name: str, rtype: str) -> None:
             if rtype != "shared_memory":
                 original_register(resource_name, rtype)
 
@@ -232,7 +234,7 @@ def attach_shared_array(spec: SharedArraySpec) -> np.ndarray:
     return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
 
 
-def prune_attached_segments(live_names) -> None:
+def prune_attached_segments(live_names: Iterable[str]) -> None:
     """Worker-side: release cached mappings of superseded segments.
 
     A wholesale array replacement (an edge delta's ``replace_out_edges``)
@@ -268,11 +270,11 @@ class Executor:
         self.num_slots = int(num_slots)
 
     # -- stateless fan-out ------------------------------------------------ #
-    def run_tasks(self, fn: Callable, tasks: Sequence[tuple]) -> List[Any]:
+    def run_tasks(self, fn: Callable[..., Any], tasks: Sequence[Tuple[Any, ...]]) -> List[Any]:
         raise NotImplementedError
 
     # -- stateful harness sessions ---------------------------------------- #
-    def open(self, factory: Callable, payloads: Sequence[Any]) -> None:
+    def open(self, factory: Callable[..., Any], payloads: Sequence[Any]) -> None:
         raise NotImplementedError
 
     def step(self, controls: Sequence[Any]) -> List[Any]:
@@ -316,10 +318,10 @@ class SerialExecutor(Executor):
         self._harnesses: Optional[List[Any]] = None
         self._mailboxes: List[List[Any]] = [[] for _ in range(self.num_slots)]
 
-    def run_tasks(self, fn: Callable, tasks: Sequence[tuple]) -> List[Any]:
+    def run_tasks(self, fn: Callable[..., Any], tasks: Sequence[Tuple[Any, ...]]) -> List[Any]:
         return [fn(*task) for task in tasks]
 
-    def open(self, factory: Callable, payloads: Sequence[Any]) -> None:
+    def open(self, factory: Callable[..., Any], payloads: Sequence[Any]) -> None:
         if self._harnesses is not None:
             raise RuntimeError("executor already has an open harness session")
         if len(payloads) != self.num_slots:
@@ -370,7 +372,7 @@ class WorkerCrashError(RuntimeError):
     """
 
 
-def _process_worker_main(conn, slot_id: int) -> None:
+def _process_worker_main(conn: Connection, slot_id: int) -> None:
     """Command loop of one worker process (module-level: spawn-safe).
 
     Protocol: strict request/response — the coordinator never has more than
@@ -415,20 +417,24 @@ def _process_worker_main(conn, slot_id: int) -> None:
     conn.close()
 
 
-def _shutdown_workers(processes, connections) -> None:
+def _shutdown_workers(processes: Sequence[BaseProcess],
+                      connections: Sequence[Connection]) -> None:
+    # Best-effort teardown throughout: a worker that already died (crash,
+    # kill, interpreter exit) leaves a broken pipe behind, and shutdown must
+    # keep going so the remaining workers are reaped rather than leaked.
     for conn in connections:
         try:
             conn.send(("exit",))
-        except Exception:
+        except (OSError, EOFError, BrokenPipeError):
             pass
     for conn in connections:
         try:
             conn.recv()
-        except Exception:
+        except (OSError, EOFError, BrokenPipeError):
             pass
         try:
             conn.close()
-        except Exception:
+        except OSError:
             pass
     for process in processes:
         process.join(timeout=5)
@@ -446,7 +452,7 @@ def default_start_method() -> str:
         from multiprocessing import get_all_start_methods
 
         return "fork" if "fork" in get_all_start_methods() else "spawn"
-    except Exception:  # pragma: no cover
+    except ImportError:  # pragma: no cover - minimal interpreter builds only
         return "spawn"
 
 
@@ -553,7 +559,7 @@ class ProcessExecutor(Executor):
         return results
 
     # ------------------------------------------------------------------ #
-    def run_tasks(self, fn: Callable, tasks: Sequence[tuple]) -> List[Any]:
+    def run_tasks(self, fn: Callable[..., Any], tasks: Sequence[Tuple[Any, ...]]) -> List[Any]:
         self._ensure_workers()
         results: List[Any] = [None] * len(tasks)
         for wave_start in range(0, len(tasks), self.num_slots):
@@ -569,7 +575,7 @@ class ProcessExecutor(Executor):
         return results
 
     # ------------------------------------------------------------------ #
-    def open(self, factory: Callable, payloads: Sequence[Any]) -> None:
+    def open(self, factory: Callable[..., Any], payloads: Sequence[Any]) -> None:
         if self._session_open:
             raise RuntimeError("executor already has an open harness session")
         if len(payloads) != self.num_slots:
@@ -590,6 +596,9 @@ class ProcessExecutor(Executor):
                     self._connections[slot].send(("close",))
                 self._collect(range(self.num_slots))
             except Exception:
+                # Best effort by design: the cleanup close may fail on the
+                # very worker whose open failed; the original open failure
+                # re-raised below is the error that matters.
                 pass
             raise
         self._session_open = True
@@ -642,13 +651,13 @@ class ProcessExecutor(Executor):
 # --------------------------------------------------------------------------- #
 # registry
 # --------------------------------------------------------------------------- #
-_EXECUTORS: Dict[str, type] = {
+_EXECUTORS: Dict[str, Type[Executor]] = {
     SerialExecutor.name: SerialExecutor,
     ProcessExecutor.name: ProcessExecutor,
 }
 
 
-def available_executors() -> set:
+def available_executors() -> Set[str]:
     """The names of all known executor substrates."""
     return set(_EXECUTORS)
 

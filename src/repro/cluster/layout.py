@@ -22,7 +22,7 @@ sorted and ``nodes_of(pid)[local_of[g]] == g`` for every owned ``g``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -169,7 +169,8 @@ class ClusterLayout:
         global_ids = self._check_ids(global_ids)
         return self.owner_of[global_ids], self.local_of[global_ids]
 
-    def group_by_owner(self, global_ids: np.ndarray):
+    def group_by_owner(self, global_ids: np.ndarray,
+                       ) -> Iterator[Tuple[int, np.ndarray]]:
         """Group row positions of ``global_ids`` by owning partition.
 
         Yields ``(partition_id, positions)`` for *every* partition in id

@@ -137,7 +137,7 @@ def tensor_bytes(shape: Iterable[int]) -> float:
     return total * FLOAT_BYTES
 
 
-def estimate_payload_bytes(payload) -> float:
+def estimate_payload_bytes(payload: object) -> float:
     """Best-effort size estimate of an arbitrary (nested) message payload."""
     if payload is None:
         return 0.0

@@ -20,7 +20,7 @@ the same way (the decorator is the whole plugin API).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Protocol, Set, Type, runtime_checkable
+from typing import Any, Callable, Dict, Optional, Protocol, Set, Tuple, Type, runtime_checkable
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class ExecutionPlan:
     #: :func:`repro.inference.delta.graph_fingerprint`.  The session checks it
     #: on every ``infer()`` and raises ``StalePlanError`` on out-of-band
     #: mutation instead of serving stale scores.
-    fingerprint: Optional[tuple] = None
+    fingerprint: Optional[Tuple[int, int, int]] = None
     #: set by the session the first time a delta lands on (or is deferred
     #: against) this plan.  Backends gate their incremental state caches on it
     #: (``config.incremental_state_cache and plan.delta_seen``), so sessions
@@ -145,7 +145,7 @@ class UnknownBackendError(ValueError):
 _REGISTRY: Dict[str, Backend] = {}
 
 
-def register_backend(name: str):
+def register_backend(name: str) -> "Callable[[Type[Any]], Type[Any]]":
     """Class decorator registering a :class:`Backend` implementation.
 
     The decorated class is instantiated once (backends are stateless — all
@@ -154,7 +154,7 @@ def register_backend(name: str):
     plugin cannot silently replace a built-in.
     """
 
-    def decorator(cls: Type) -> Type:
+    def decorator(cls: Type[Any]) -> Type[Any]:
         if name in _REGISTRY:
             raise ValueError(
                 f"backend {name!r} is already registered "

@@ -34,11 +34,14 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # import cycle: shadow plans are built by the inference layer
+    from repro.inference.shadow import ShadowNodePlan
 
 
 class StalePlanError(RuntimeError):
@@ -411,7 +414,7 @@ def apply_delta_to_graph(graph: Graph, delta: GraphDelta) -> np.ndarray:
 # --------------------------------------------------------------------------- #
 def expand_frontier(working_graph: Graph, feature_dirty: np.ndarray,
                     topo_dirty: np.ndarray, num_supersteps: int,
-                    shadow_plan=None) -> List[np.ndarray]:
+                    shadow_plan: Optional["ShadowNodePlan"] = None) -> List[np.ndarray]:
     """Per-superstep dirty-vertex frontiers over the working graph.
 
     ``frontiers[s]`` lists (sorted, unique) every working-graph node whose

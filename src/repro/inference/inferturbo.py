@@ -28,7 +28,7 @@ from repro.gnn.model import GNNModel
 from repro.gnn.signature import ModelSignature
 from repro.graph.graph import Graph
 from repro.inference.config import InferenceConfig
-from repro.inference.session import InferenceResult, InferenceSession
+from repro.inference.session import GraphLike, InferenceResult, InferenceSession
 
 __all__ = ["InferTurbo", "InferenceResult"]
 
@@ -62,7 +62,7 @@ class InferTurbo:
         return self._session
 
     # ------------------------------------------------------------------ #
-    def run(self, graph: Union[Graph, tuple], check_memory: bool = False) -> InferenceResult:
+    def run(self, graph: GraphLike, check_memory: bool = False) -> InferenceResult:
         """Plan and execute one full-graph inference run.
 
         Re-plans on every call — the original one-shot contract — so callers

@@ -55,8 +55,10 @@ import numpy as np
 
 from repro.batch.mapreduce import MapReduceEngine, MapReduceJob, TaskContext
 from repro.cluster.cost_model import gnn_layer_compute_units
+from repro.cluster.executor import Executor
 from repro.cluster.layout import ClusterLayout
 from repro.cluster.metrics import MetricsCollector, tensor_bytes
+from repro.gnn.gasconv import GASConv
 from repro.gnn.model import GNNModel
 from repro.graph.graph import Graph
 from repro.inference.config import InferenceConfig
@@ -243,7 +245,8 @@ class GNNRoundJob(MapReduceJob, _ScatterMixin):
         return outputs
 
     def _reduce_chunk(self, chunk: List[Tuple[int, List[Any]]],
-                      payload_lookup: Dict[int, np.ndarray], layer, is_last: bool,
+                      payload_lookup: Dict[int, np.ndarray], layer: GASConv,
+                      is_last: bool,
                       context: TaskContext) -> List[Record]:
         node_ids: List[int] = []
         states: List[np.ndarray] = []
@@ -381,7 +384,7 @@ def run_mapreduce_inference(model: GNNModel, graph: Graph, config: InferenceConf
                             metrics: MetricsCollector,
                             input_records: Optional[List[Record]] = None,
                             layout: Optional[ClusterLayout] = None,
-                            executor=None) -> Dict[str, np.ndarray]:
+                            executor: Optional[Executor] = None) -> Dict[str, np.ndarray]:
     """Execute full-graph inference on the MapReduce backend.
 
     ``layout`` is the plan-cached :class:`~repro.cluster.layout.ClusterLayout`
@@ -489,9 +492,9 @@ class IncrementalGNNRoundJob(GNNRoundJob):
     (replica-closed) closure contains the mirror.
     """
 
-    def __init__(self, *args, compute_keep: Optional[Set[int]] = None,
+    def __init__(self, *args: Any, compute_keep: Optional[Set[int]] = None,
                  scatter_keep_by_layer: Optional[Dict[int, Set[int]]] = None,
-                 **kwargs) -> None:
+                 **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.compute_keep = compute_keep
         self.scatter_keep_by_layer = scatter_keep_by_layer or {}
@@ -534,7 +537,7 @@ def run_mapreduce_inference_incremental(
         metrics: MetricsCollector, input_records: List[Record],
         cached_scores: np.ndarray, feature_dirty: np.ndarray,
         layout: Optional[ClusterLayout] = None,
-        executor=None) -> Dict[str, np.ndarray]:
+        executor: Optional[Executor] = None) -> Dict[str, np.ndarray]:
     """Replay only the feature delta's dependency closure; splice the rest.
 
     ``cached_scores`` is the score matrix of the last full run on this plan

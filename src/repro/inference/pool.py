@@ -66,7 +66,9 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.lockgraph import tracked_rlock
 
 from repro.gnn.model import GNNModel
 from repro.gnn.signature import ModelSignature
@@ -231,11 +233,14 @@ class SessionPool:
         # Guards all bookkeeping (entries, counters, fingerprinting of caller
         # graphs).  Held only for cheap operations: preparation runs outside
         # it behind the per-fingerprint once-flags in ``_preparing``, and
-        # detached sessions are closed after it is released.
-        self._lock = threading.RLock()
+        # detached sessions are closed after it is released.  Contract-checked
+        # twice: the `lock-discipline` lint rule forbids slow calls lexically
+        # inside `with self._lock:` blocks, and under REPRO_LOCK_TRACK=1 the
+        # runtime tracker fails any slow operation entered while holding it.
+        self._lock = tracked_rlock("SessionPool._lock", forbid_slow=True)
         # Fingerprints with a prepare() in flight; waiters block on the event
         # (outside the pool lock) and re-run their lookup once it sets.
-        self._preparing: dict = {}
+        self._preparing: Dict[Fingerprint, threading.Event] = {}
         # Monotonic pool-operation counter — the "age" clock weighted
         # eviction divides by.  Ticks on every lookup/touch.
         self._seq = 0

@@ -91,7 +91,7 @@ class GNNInferenceProgram(BlockVertexProgram):
 
     # ------------------------------------------------------------------ #
     @property
-    def block_state_ship_keys(self) -> tuple:
+    def block_state_ship_keys(self) -> Tuple[str, ...]:
         """Process-executor shipping manifest: what this run reads.
 
         Incremental runs splice into the cached superstep states of the last
@@ -101,7 +101,7 @@ class GNNInferenceProgram(BlockVertexProgram):
         return ("h_history", "output") if self.incremental else ()
 
     @property
-    def block_state_return_keys(self) -> tuple:
+    def block_state_return_keys(self) -> Tuple[str, ...]:
         """What this run leaves behind for the parent to keep.
 
         ``output`` feeds score collection; ``h`` only matters when the caller
@@ -151,7 +151,8 @@ class GNNInferenceProgram(BlockVertexProgram):
 
     # ------------------------------------------------------------------ #
     def _assemble_messages(self, partition: PregelPartition,
-                           incoming: List[MessageBlock]) -> tuple:
+                           incoming: List[MessageBlock],
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Concatenate incoming blocks into (local_dst, payload, counts)."""
         if not incoming:
             width = 0
@@ -232,7 +233,8 @@ class GNNInferenceProgram(BlockVertexProgram):
                 counts=hub_counts,
             ))
 
-    def _expand(self, dst_ids: np.ndarray, payload: np.ndarray, counts: np.ndarray) -> tuple:
+    def _expand(self, dst_ids: np.ndarray, payload: np.ndarray, counts: np.ndarray,
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Apply shadow-node destination expansion when the strategy is active."""
         if self.shadow_plan is None or not self.shadow_plan.has_mirrors:
             return dst_ids, payload, counts
@@ -476,7 +478,7 @@ def run_pregel_inference_incremental(
     # edge bound for a superstep-(s+1) frontier destination.  Frontiers are
     # replica-closed, so testing the pre-expansion destination id suffices;
     # they are also sorted unique, so membership is one searchsorted pass.
-    edge_rows: Dict[tuple, np.ndarray] = {}
+    edge_rows: Dict[Tuple[int, int], np.ndarray] = {}
     for partition in engine.partitions:
         for superstep in range(model.num_layers):
             nxt = frontiers[superstep + 1]

@@ -28,13 +28,13 @@ backends that support it (bit-identical to a fresh full run), and plain
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.lockgraph import RLockLike, note_slow_call, tracked_rlock
 from repro.cluster.cost_model import CostModel, CostSummary
 from repro.cluster.metrics import MetricsCollector
 from repro.gnn.model import GNNModel
@@ -55,7 +55,7 @@ from repro.inference.strategies import StrategyPlan
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
-GraphLike = Union[Graph, tuple]
+GraphLike = Union[Graph, Tuple[Any, ...]]
 
 
 @dataclass
@@ -176,9 +176,11 @@ class InferenceSession:
         #     execution (which only reads the graph) but never a flush
         #     (which rewrites it).
         # Lock order is always _exec_lock -> _mutate_lock; the deferred path
-        # takes _mutate_lock alone, so no cycle exists.
-        self._exec_lock = threading.RLock()
-        self._mutate_lock = threading.RLock()
+        # takes _mutate_lock alone, so no cycle exists.  Under
+        # REPRO_LOCK_TRACK=1 the lockgraph tracker records every acquisition
+        # ordering and fails the run if a refactor ever closes a cycle.
+        self._exec_lock = tracked_rlock("InferenceSession._exec_lock")
+        self._mutate_lock = tracked_rlock("InferenceSession._mutate_lock")
         # True while a batch holds the staleness check it already performed,
         # so infer_many() fingerprints the graph once, not once per run.
         self._staleness_checked = False
@@ -246,6 +248,7 @@ class InferenceSession:
         An ``infer()`` in flight on another thread finishes first — workers
         are never torn down under a running execution.
         """
+        note_slow_call("close")
         with self._exec_lock:
             self._release_plan_resources(self._plan)
 
@@ -263,6 +266,7 @@ class InferenceSession:
         them, so it raises; call :meth:`flush_deltas` (to apply them) or
         :meth:`discard_pending_deltas` first.
         """
+        note_slow_call("prepare")
         with self._exec_lock, self._mutate_lock:
             if self._pending is not None and not self._pending.is_empty:
                 raise RuntimeError(
@@ -312,7 +316,7 @@ class InferenceSession:
                 "and call session.apply_delta(delta), or call "
                 "session.prepare(graph) to re-plan from scratch")
 
-    def delta_route_lock(self, defer: bool = False) -> threading.RLock:
+    def delta_route_lock(self, defer: bool = False) -> RLockLike:
         """The lock a delta *router* holds to pair :meth:`apply_delta` with
         its own bookkeeping — mirroring the delta onto a tenant handle,
         re-keying a cache entry — atomically per session.
@@ -382,6 +386,7 @@ class InferenceSession:
                     in_place=True, deferred=True,
                     reason=f"buffered ({self._pending.num_pending} pending); "
                            "applied at the next infer()/flush_deltas()")
+        note_slow_call("apply_delta")
         with self._exec_lock:
             if self._plan is None:
                 raise RuntimeError("session is not prepared; call prepare(graph) first")
@@ -496,6 +501,7 @@ class InferenceSession:
         """
         if mode not in ("full", "incremental"):
             raise ValueError(f"mode must be 'full' or 'incremental', got {mode!r}")
+        note_slow_call("infer")
         with self._exec_lock:
             # Clock starts *after* the execution lock is acquired: a caller
             # queued behind another thread's run would otherwise record lock

@@ -118,7 +118,8 @@ class ShadowNodePlan:
 
     # ------------------------------------------------------------------ #
     def expand_destinations(self, dst_ids: np.ndarray, payload: np.ndarray,
-                            counts: Optional[np.ndarray] = None) -> tuple:
+                            counts: Optional[np.ndarray] = None,
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Duplicate message rows whose destination has mirrors.
 
         Returns expanded ``(dst_ids, payload, counts)`` arrays: rows whose
@@ -126,11 +127,11 @@ class ShadowNodePlan:
         followed by the replica fan-out of the replicated rows — one
         repeat/gather pass over the CSR arrays, no per-row Python.
         """
-        if self.replica_indptr is None:
-            return dst_ids, payload, counts
         dst_ids = np.asarray(dst_ids, dtype=np.int64)
         if counts is None:
             counts = np.ones(dst_ids.shape[0], dtype=np.int64)
+        if self.replica_indptr is None:
+            return dst_ids, payload, counts
         reps = self.replica_indptr[dst_ids + 1] - self.replica_indptr[dst_ids]
         needs_expand = reps > 1
         if not needs_expand.any():

@@ -12,7 +12,7 @@ This module holds everything the two backend adaptors share:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import AbstractSet, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -72,7 +72,7 @@ class StrategyPlan:
         return self.layer_strategies[index]
 
     @property
-    def hub_set(self) -> set:
+    def hub_set(self) -> Set[int]:
         return set(int(h) for h in self.out_degree_hubs)
 
 
@@ -151,7 +151,9 @@ class BroadcastMessageBlock(MessageBlock):
         )
 
 
-def split_hub_edges(src_ids: np.ndarray, hubs) -> tuple:
+def split_hub_edges(src_ids: np.ndarray,
+                    hubs: Union[np.ndarray, AbstractSet[int]],
+                    ) -> Tuple[np.ndarray, np.ndarray]:
     """Partition edge positions into (hub-source rows, regular rows).
 
     ``hubs`` is the plan's sorted ``out_degree_hubs`` array (a ``set`` is

@@ -684,6 +684,10 @@ class PregelEngine:
                 try:
                     executor.close()
                 except Exception:
+                    # Best effort by design: the close may fail on the same
+                    # broken worker that failed the run; the original
+                    # exception propagating out of the try is the one that
+                    # matters.
                     pass
         self._apply_final_states(finals)
 

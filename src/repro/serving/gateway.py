@@ -51,7 +51,10 @@ import asyncio
 import functools
 from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional
+
+if TYPE_CHECKING:  # runtime import is deferred until the first tick
+    from concurrent.futures import ThreadPoolExecutor
 
 from repro.graph.graph import Graph
 from repro.inference.config import GatewayConfig
@@ -140,7 +143,7 @@ class ServingGateway:
     async def __aenter__(self) -> "ServingGateway":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()
 
     async def aclose(self) -> None:
@@ -169,7 +172,7 @@ class ServingGateway:
         if self._closed:
             raise RuntimeError("gateway is closed")
 
-    def _threads(self):
+    def _threads(self) -> "ThreadPoolExecutor":
         if self._executor is None:
             from concurrent.futures import ThreadPoolExecutor
             self._executor = ThreadPoolExecutor(
@@ -333,6 +336,10 @@ class ServingGateway:
                         self._execute_tick, state,
                         batch[0].mode, batch[0].check_memory)
                 except Exception as exc:
+                    # Deliberately broad: whatever a tick raises (backend
+                    # errors, StalePlanError, WorkerCrashError) belongs to
+                    # the awaiting callers, not the scheduler loop — which
+                    # must survive to serve the tenant's next request.
                     for request in batch:
                         if not request.future.done():
                             request.future.set_exception(exc)

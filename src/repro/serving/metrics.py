@@ -101,7 +101,7 @@ class GatewaySnapshot:
     #: Straight copy of :class:`~repro.inference.pool.PoolStats` fields.
     pool: Dict[str, float] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         """A JSON-serialisable dict (artifact format for ``BENCH_*.json``)."""
         return {
             "requests": self.requests,

@@ -160,9 +160,19 @@ def spmm(dst_index, src_index, values: Optional[np.ndarray], node_state: Tensor,
 
 
 def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout; identity when not training or rate == 0."""
+    """Inverted dropout; identity when not training or rate == 0.
+
+    Training-mode calls must hand in an explicitly seeded generator: the
+    compute layers promise replayable runs, so an entropy-seeded fallback
+    here would make training silently non-reproducible (the ``nn.Dropout``
+    module owns a seeded generator and always passes it).
+    """
     if not training or rate <= 0.0:
         return x
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        raise ValueError(
+            "dropout in training mode requires an explicitly seeded "
+            "np.random.Generator; use nn.Dropout (which owns one) or pass "
+            "rng=np.random.default_rng(seed)")
     mask = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
     return x * Tensor(mask)

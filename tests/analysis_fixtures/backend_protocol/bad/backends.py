@@ -1,0 +1,18 @@
+"""Fixture: a registered backend with every protocol defect the rule knows.
+
+Missing required methods, a typo'd optional hook (the silent-degradation
+bug: getattr discovery never errors on ``apply_deltas``), and a drifted
+``execute_incremental`` signature.
+"""
+
+
+@register_backend("broken")
+class BrokenBackend:
+    def plan(self, model, graph, config):
+        return None
+
+    def apply_deltas(self, plan, delta):
+        return plan
+
+    def execute_incremental(self, plan, metrics, dirty):
+        return None

@@ -1,0 +1,22 @@
+"""Counter-fixture: a protocol-complete registered backend."""
+
+
+@register_backend("complete")
+class CompleteBackend:
+    def default_cluster(self, num_workers):
+        return None
+
+    def plan(self, model, graph, config):
+        return None
+
+    def execute(self, plan, metrics):
+        return None
+
+    def apply_delta(self, plan, delta):
+        return plan
+
+    def execute_incremental(self, plan, metrics, feature_dirty, topo_dirty):
+        return None
+
+    def describe(self):
+        return "complete"

@@ -1,0 +1,30 @@
+"""Counter-fixture: the three acceptable broad-except shapes."""
+
+
+def reraises(task):
+    try:
+        task()
+    except Exception:
+        raise
+
+
+def justified(task):
+    try:
+        task()
+    # Best effort by design: teardown must not mask the original failure.
+    except Exception:
+        pass
+
+
+def justified_inline(task):
+    try:
+        task()
+    except Exception:  # the probe's verdict is the point; any failure means no
+        return False
+
+
+def narrow(task):
+    try:
+        task()
+    except ValueError:
+        return None

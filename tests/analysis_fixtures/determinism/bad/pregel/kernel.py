@@ -1,0 +1,22 @@
+"""Fixture: every determinism hazard the rule knows, one per line."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def accumulate(values, scale):
+    started = time.time()
+    stamp = datetime.now()
+    total = 0.0
+    for value in {1.0, 2.0, 3.0}:
+        total += value
+    for value in set(values):
+        total -= value
+    jitter = np.random.random()
+    rng = np.random.default_rng()
+    noise = random.random()
+    scale(time.perf_counter())
+    return total + jitter + noise, started, stamp, rng

@@ -1,0 +1,16 @@
+"""Counter-fixture: the sanctioned shapes of each determinism hazard."""
+
+import time
+
+import numpy as np
+
+
+def accumulate(values, rng, record):
+    started = time.perf_counter()
+    total = 0.0
+    for value in sorted(set(values)):
+        total += value
+    noise = rng.normal()
+    seeded = np.random.default_rng(1234)
+    record(measured_seconds=time.perf_counter() - started)
+    return total + noise + seeded.random()

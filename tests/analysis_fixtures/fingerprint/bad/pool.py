@@ -1,0 +1,12 @@
+"""Fixture: the fingerprint-tear race -- hashing a tenant graph unlocked.
+
+``graph_fingerprint(graph)`` runs outside the pool lock, so a concurrent
+``apply_delta`` can mutate the arrays mid-hash and corrupt the cache key.
+"""
+
+
+class SessionPool:
+    def lookup(self, graph):
+        key = graph_fingerprint(graph)
+        with self._lock:
+            return self._entries[key]

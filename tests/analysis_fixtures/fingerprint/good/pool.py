@@ -1,0 +1,8 @@
+"""Counter-fixture: fingerprinting under the same lock the mirror holds."""
+
+
+class SessionPool:
+    def lookup(self, graph):
+        with self._lock:
+            key = graph_fingerprint(graph)
+            return self._entries[key]

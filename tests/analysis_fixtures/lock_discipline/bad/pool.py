@@ -1,0 +1,22 @@
+"""Regression fixture: the fcf99ca shape -- slow work under the pool lock.
+
+Both methods hold ``self._lock`` across a slow call, exactly the shape the
+PR-6 review found in ``SessionPool`` (prepare and close under the single
+global lock).  The lock-discipline rule must flag both call sites.
+"""
+
+
+class SessionPool:
+    def lookup(self, graph):
+        with self._lock:
+            entry = self._entries.get(graph)
+            if entry is None:
+                session = self._make_session(graph)
+                session.prepare()
+                self._entries[graph] = session
+            return self._entries[graph]
+
+    def evict_one(self, fingerprint):
+        with self._lock:
+            session = self._entries.pop(fingerprint)
+            session.close()

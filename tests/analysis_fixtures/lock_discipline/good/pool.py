@@ -1,0 +1,28 @@
+"""Counter-fixture: the post-fcf99ca shape -- slow work outside the lock.
+
+The lock guards only cheap bookkeeping; prepare/close happen after release.
+A callback *defined* under the lock but executed later is also fine (nested
+defs run outside the lexical lock scope).
+"""
+
+
+class SessionPool:
+    def lookup(self, graph):
+        with self._lock:
+            session = self._entries.get(graph)
+        if session is None:
+            session = self._make_session(graph)
+            session.prepare()
+            with self._lock:
+                self._entries[graph] = session
+        return session
+
+    def evict_one(self, fingerprint):
+        with self._lock:
+            session = self._entries.pop(fingerprint)
+
+            def deferred():
+                session.close()
+
+            self._pending.append(deferred)
+        return session

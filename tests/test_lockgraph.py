@@ -1,0 +1,181 @@
+"""Tests for the runtime lock-order tracker (repro.analysis.lockgraph)."""
+
+import threading
+
+import pytest
+
+from repro.analysis import lockgraph
+from repro.analysis.lockgraph import (
+    LockOrderViolation,
+    TrackedRLock,
+    note_slow_call,
+    tracked_rlock,
+)
+
+
+@pytest.fixture
+def tracking():
+    """Enable tracking with clean global state, restoring the prior mode."""
+    was_enabled = lockgraph.tracking_enabled()
+    lockgraph.enable_tracking()
+    lockgraph.reset()
+    yield
+    lockgraph.reset()
+    if not was_enabled:
+        lockgraph.disable_tracking()
+
+
+def test_tracked_rlock_is_plain_rlock_when_disabled(tracking):
+    lockgraph.disable_tracking()
+    lock = tracked_rlock("test.plain")
+    assert not isinstance(lock, TrackedRLock)
+    with lock:
+        pass  # still a working context manager
+    lockgraph.enable_tracking()
+
+
+def test_tracked_rlock_is_instrumented_when_enabled(tracking):
+    lock = tracked_rlock("test.instrumented", forbid_slow=True)
+    assert isinstance(lock, TrackedRLock)
+    assert lock.forbid_slow
+
+
+def test_nested_acquisition_records_edge(tracking):
+    outer = TrackedRLock("test.outer")
+    inner = TrackedRLock("test.inner")
+    with outer:
+        with inner:
+            pass
+    assert ("test.outer", "test.inner") in lockgraph.acquisition_edges()
+    assert lockgraph.violations() == []
+
+
+def test_reentrant_acquisition_is_not_an_edge(tracking):
+    lock = TrackedRLock("test.reentrant")
+    with lock:
+        with lock:
+            pass
+    assert ("test.reentrant", "test.reentrant") not in lockgraph.acquisition_edges()
+    assert lockgraph.violations() == []
+
+
+def test_direct_cycle_raises(tracking):
+    a = TrackedRLock("test.A")
+    b = TrackedRLock("test.B")
+    with a:
+        with b:
+            pass
+    # Reverse order on the same thread: B -> A closes the A -> B cycle.
+    with b:
+        with pytest.raises(LockOrderViolation) as excinfo:
+            a.acquire()
+    assert "test.A" in str(excinfo.value)
+    assert "test.B" in str(excinfo.value)
+    assert len(lockgraph.violations()) == 1
+
+
+def test_transitive_cycle_raises(tracking):
+    a = TrackedRLock("test.A")
+    b = TrackedRLock("test.B")
+    c = TrackedRLock("test.C")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    # C -> A closes the cycle A -> B -> C -> A.
+    with c:
+        with pytest.raises(LockOrderViolation):
+            a.acquire()
+
+
+def test_cycle_detected_across_threads(tracking):
+    a = TrackedRLock("test.thread.A")
+    b = TrackedRLock("test.thread.B")
+
+    def record_forward():
+        with a:
+            with b:
+                pass
+
+    worker = threading.Thread(target=record_forward)
+    worker.start()
+    worker.join()
+
+    with b:
+        with pytest.raises(LockOrderViolation):
+            a.acquire()
+
+
+def test_slow_call_under_forbid_slow_lock_raises(tracking):
+    pool_lock = TrackedRLock("test.pool", forbid_slow=True)
+    with pool_lock:
+        with pytest.raises(LockOrderViolation) as excinfo:
+            note_slow_call("prepare")
+    assert "prepare" in str(excinfo.value)
+    assert "test.pool" in str(excinfo.value)
+    assert len(lockgraph.violations()) == 1
+
+
+def test_slow_call_under_ordinary_lock_is_fine(tracking):
+    exec_lock = TrackedRLock("test.exec")
+    with exec_lock:
+        note_slow_call("infer")
+    assert lockgraph.violations() == []
+
+
+def test_slow_call_after_release_is_fine(tracking):
+    pool_lock = TrackedRLock("test.pool2", forbid_slow=True)
+    with pool_lock:
+        pass
+    note_slow_call("close")
+    assert lockgraph.violations() == []
+
+
+def test_note_slow_call_is_noop_when_disabled(tracking):
+    pool_lock = TrackedRLock("test.pool3", forbid_slow=True)
+    lockgraph.disable_tracking()
+    try:
+        with pool_lock:
+            note_slow_call("prepare")  # must not raise
+    finally:
+        lockgraph.enable_tracking()
+    assert lockgraph.violations() == []
+
+
+def test_release_out_of_order_still_tracks_held_set(tracking):
+    a = TrackedRLock("test.ooo.A")
+    b = TrackedRLock("test.ooo.B")
+    a.acquire()
+    b.acquire()
+    a.release()  # release outer first
+    # Only B is held now: acquiring A again must record B -> A... but the
+    # forward edge A -> B already exists, so this is itself the cycle.
+    with pytest.raises(LockOrderViolation):
+        a.acquire()
+    b.release()
+
+
+def test_session_pool_runs_clean_under_tracking(tracking):
+    """End-to-end: the real pool honours its own contracts under tracking.
+
+    The pool lock is ``forbid_slow`` and session ``prepare``/``infer``/
+    ``close`` all call :func:`note_slow_call`; a pool that re-grew the
+    fcf99ca shape (slow work under the pool lock) would fail here.
+    """
+    from repro.gnn.model import build_model
+    from repro.graph.generators import powerlaw_graph
+    from repro.inference import InferenceConfig, SessionPool
+
+    model = build_model("gcn", 8, 16, 4, num_layers=2, seed=0)
+    graph = powerlaw_graph(num_nodes=60, avg_degree=4.0, skew="out",
+                           feature_dim=8, num_classes=4, seed=3)
+    pool = SessionPool(model, InferenceConfig(backend="pregel", num_workers=2),
+                       capacity=2)
+    try:
+        pool.infer(graph)
+        pool.infer(graph)  # second hit exercises the cached-lookup path
+    finally:
+        pool.clear()
+    assert lockgraph.violations() == []

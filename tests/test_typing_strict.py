@@ -1,0 +1,34 @@
+"""Strict-typing gate: ``mypy --strict`` over the serving-critical packages.
+
+Runs only when mypy is installed (the CI static-analysis job installs it;
+the minimal local environment may not have it, in which case the test skips
+rather than failing -- the annotations themselves are still exercised at
+runtime by every other test).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy not installed; CI runs this gate")
+
+REPO_ROOT = Path(__file__).parent.parent
+STRICT_PACKAGES = ["repro.inference", "repro.serving", "repro.cluster",
+                   "repro.analysis"]
+
+
+def test_mypy_strict_on_serving_packages():
+    command = [sys.executable, "-m", "mypy",
+               "--config-file", str(REPO_ROOT / "mypy.ini")]
+    for package in STRICT_PACKAGES:
+        command += ["-p", package]
+    result = subprocess.run(command, cwd=REPO_ROOT,
+                            capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, (
+        f"mypy --strict failed:\n{result.stdout}\n{result.stderr}")
+
+
+def test_py_typed_marker_shipped():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
