@@ -1,0 +1,301 @@
+"""Seeded, reproducible continuous-ingest traces for the soak harness.
+
+A :class:`WorkloadTrace` is the whole stream, decided up front from one seed:
+every :class:`~repro.inference.delta.GraphDelta`, every infer request, every
+temporal snapshot, for every tenant, at every simulated second ("tick").
+Deciding the stream ahead of time is what makes a soak run *replayable* —
+the same seed produces byte-identical delta arrays and therefore the same
+:func:`trace digest <WorkloadTrace.digest>`, so two runs of one seed are
+comparing the same stream, not two similar ones.
+
+Generation maintains one authoritative **virtual edge list** per tenant —
+surviving base edges in original order, then surviving appended edges in
+arrival order, exactly the order :func:`~repro.inference.delta.apply_delta_to_graph`
+and :class:`~repro.inference.delta.DeltaBuffer` produce — so every
+``removed_edge_ids`` position in the trace is valid at the moment its delta
+applies, whether the consumer applies deltas eagerly or coalesces them.
+
+Scenario knobs beyond plain churn (both genuinely new relative to the paper's
+one-shot evaluation):
+
+* **temporal snapshots** (``snapshot_every``): periodic full-inference events
+  whose score digests the soak report records, turning the stream into a
+  sequence of named graph versions whose score trajectory is comparable
+  across runs;
+* **sliding-window neighbourhoods** (``sliding_window``): each tick appends
+  fresh edges and expires every appended edge older than the window, the
+  "only the last W seconds of interactions count" regime of fraud/feed
+  graphs.  Base edges form a stable backbone and never expire.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.inference.delta import GraphDelta
+
+#: Event kinds a trace is made of.
+DELTA = "delta"
+INFER = "infer"
+SNAPSHOT = "snapshot"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a continuous-ingest stream (all of it derived from ``seed``).
+
+    One tick models one simulated second.  Every tick emits
+    ``deltas_per_tick`` delta events spread over ``tenants`` tenants by a
+    Zipf-like skew (``tenant_skew=0`` is uniform; larger values concentrate
+    churn on low-numbered tenants).  Every ``infer_every`` ticks each tenant
+    issues one inference request (``incremental_fraction`` of them in
+    incremental mode).  ``feature_fraction`` splits delta events between
+    feature refreshes and edge churn; edge removals never shrink a tenant
+    below ``min_edges`` edges.
+    """
+
+    seed: int = 0
+    ticks: int = 30
+    tenants: int = 2
+    deltas_per_tick: int = 2
+    infer_every: int = 2
+    feature_fraction: float = 0.7
+    incremental_fraction: float = 0.5
+    tenant_skew: float = 1.0
+    max_feature_rows: int = 6
+    max_edges_added: int = 4
+    max_edges_removed: int = 2
+    min_edges: int = 8
+    snapshot_every: int = 0
+    sliding_window: int = 0
+    window_edges_per_tick: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ticks <= 0:
+            raise ValueError("ticks must be positive")
+        if self.tenants <= 0:
+            raise ValueError("tenants must be positive")
+        if self.deltas_per_tick < 0:
+            raise ValueError("deltas_per_tick must be >= 0")
+        if self.infer_every <= 0:
+            raise ValueError("infer_every must be positive")
+        if not 0.0 <= self.feature_fraction <= 1.0:
+            raise ValueError("feature_fraction must lie in [0, 1]")
+        if not 0.0 <= self.incremental_fraction <= 1.0:
+            raise ValueError("incremental_fraction must lie in [0, 1]")
+        if self.tenant_skew < 0.0:
+            raise ValueError("tenant_skew must be >= 0")
+        if self.snapshot_every < 0 or self.sliding_window < 0:
+            raise ValueError("snapshot_every / sliding_window must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One timed stream event: a delta, an infer request, or a snapshot."""
+
+    tick: int
+    tenant: int
+    kind: str                            #: DELTA | INFER | SNAPSHOT
+    mode: str = "full"                   #: infer mode (infer events only)
+    delta: Optional[GraphDelta] = None   #: payload (delta events only)
+
+
+class _VirtualEdges:
+    """Per-tenant virtual edge list: the birth tick of every live position.
+
+    Base edges carry birth ``-1`` (never expired by the sliding window);
+    appended edges carry the tick that added them.  :meth:`apply` replays a
+    delta with the exact removal-before-append order of
+    :func:`~repro.inference.delta.apply_delta_to_graph`, so positions handed
+    out against this model are valid at application time.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.num_nodes = graph.num_nodes
+        self.edge_feature_dim = (None if graph.edge_features is None
+                                 else int(graph.edge_features.shape[1]))
+        self.births = np.full(graph.num_edges, -1, dtype=np.int64)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.births.size)
+
+    def expired_positions(self, tick: int, window: int) -> np.ndarray:
+        """Positions of appended edges older than ``window`` ticks."""
+        born = self.births
+        return np.nonzero((born >= 0) & (born <= tick - window))[0]
+
+    def apply(self, delta: GraphDelta, tick: int) -> None:
+        births = self.births
+        if delta.removed_edge_ids is not None and delta.removed_edge_ids.size:
+            keep = np.ones(births.size, dtype=bool)
+            keep[delta.removed_edge_ids] = False
+            births = births[keep]
+        added = 0 if delta.added_src is None else int(delta.added_src.size)
+        if added:
+            births = np.concatenate(
+                [births, np.full(added, tick, dtype=np.int64)])
+        self.births = births
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """The fully materialised stream plus its reproducibility digest."""
+
+    config: WorkloadConfig
+    events: Tuple[WorkloadEvent, ...]
+    digest: int
+    _by_tick: Dict[int, List[WorkloadEvent]] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            self._by_tick.setdefault(event.tick, []).append(event)
+
+    @property
+    def num_ticks(self) -> int:
+        return self.config.ticks
+
+    def per_tick(self, tick: int) -> List[WorkloadEvent]:
+        """Events of one tick, emission (= application) order."""
+        return list(self._by_tick.get(tick, []))
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def describe(self) -> str:
+        return (f"trace[seed={self.config.seed}]: {self.config.ticks} tick(s) x "
+                f"{self.config.tenants} tenant(s), {self.count(DELTA)} delta(s), "
+                f"{self.count(INFER)} infer(s), {self.count(SNAPSHOT)} "
+                f"snapshot(s), digest {self.digest:#010x}")
+
+
+def _tenant_weights(config: WorkloadConfig) -> np.ndarray:
+    """Zipf-like tenant selection weights (``skew=0`` degrades to uniform)."""
+    ranks = np.arange(1, config.tenants + 1, dtype=np.float64)
+    weights = ranks ** -config.tenant_skew
+    return weights / weights.sum()
+
+
+def _digest_event(crc: int, event: WorkloadEvent) -> int:
+    header = f"{event.tick}|{event.tenant}|{event.kind}|{event.mode}".encode()
+    crc = zlib.crc32(header, crc)
+    delta = event.delta
+    if delta is not None:
+        for array in (delta.node_ids, delta.node_features, delta.added_src,
+                      delta.added_dst, delta.added_edge_features,
+                      delta.removed_edge_ids):
+            if array is not None:
+                crc = zlib.crc32(np.ascontiguousarray(array), crc)
+    return crc
+
+
+def _feature_delta(rng: np.random.Generator, model: _VirtualEdges,
+                   config: WorkloadConfig, feature_dim: int) -> GraphDelta:
+    size = int(rng.integers(1, config.max_feature_rows + 1))
+    size = min(size, model.num_nodes)
+    ids = rng.choice(model.num_nodes, size=size, replace=False)
+    return GraphDelta(node_ids=ids,
+                      node_features=rng.standard_normal((size, feature_dim)))
+
+
+def _edge_delta(rng: np.random.Generator, model: _VirtualEdges,
+                config: WorkloadConfig) -> GraphDelta:
+    add = int(rng.integers(1, config.max_edges_added + 1))
+    room = max(0, model.num_edges - config.min_edges)
+    remove = min(int(rng.integers(0, config.max_edges_removed + 1)), room)
+    removed = (rng.choice(model.num_edges, size=remove, replace=False)
+               if remove else None)
+    added_edge_features = None
+    if model.edge_feature_dim is not None:
+        added_edge_features = rng.standard_normal((add, model.edge_feature_dim))
+    return GraphDelta(
+        added_src=rng.integers(0, model.num_nodes, size=add),
+        added_dst=rng.integers(0, model.num_nodes, size=add),
+        added_edge_features=added_edge_features,
+        removed_edge_ids=removed)
+
+
+def _window_delta(rng: np.random.Generator, model: _VirtualEdges,
+                  config: WorkloadConfig, tick: int) -> Optional[GraphDelta]:
+    """One sliding-window tick: expire old appended edges, add fresh ones."""
+    expired = model.expired_positions(tick, config.sliding_window)
+    add = config.window_edges_per_tick
+    if add == 0 and expired.size == 0:
+        return None
+    added_edge_features = None
+    if add and model.edge_feature_dim is not None:
+        added_edge_features = rng.standard_normal((add, model.edge_feature_dim))
+    return GraphDelta(
+        added_src=rng.integers(0, model.num_nodes, size=add) if add else None,
+        added_dst=rng.integers(0, model.num_nodes, size=add) if add else None,
+        added_edge_features=added_edge_features,
+        removed_edge_ids=expired if expired.size else None)
+
+
+def generate_trace(graphs: Sequence[Graph],
+                   config: WorkloadConfig) -> WorkloadTrace:
+    """Materialise the whole stream for ``graphs`` (one per tenant).
+
+    The graphs are only *read* (node/edge counts, feature widths) — the trace
+    never holds a reference to them, so the caller is free to hand twin
+    copies of the same content to a faulted run and its oracle and replay one
+    trace against both.
+    """
+    if len(graphs) != config.tenants:
+        raise ValueError(f"config names {config.tenants} tenant(s) but "
+                         f"{len(graphs)} graph(s) were given")
+    feature_dims: List[int] = []
+    for tenant, graph in enumerate(graphs):
+        if graph.node_features is None:
+            raise ValueError(f"tenant {tenant}'s graph has no node features; "
+                             "the workload generator emits feature deltas")
+        feature_dims.append(int(graph.node_features.shape[1]))
+    rng = np.random.default_rng(config.seed)
+    models = [_VirtualEdges(graph) for graph in graphs]
+    weights = _tenant_weights(config)
+    events: List[WorkloadEvent] = []
+    crc = zlib.crc32(f"workload|{config.seed}|{config.ticks}|"
+                     f"{config.tenants}".encode())
+
+    def emit(event: WorkloadEvent) -> None:
+        nonlocal crc
+        if event.delta is not None:
+            models[event.tenant].apply(event.delta, event.tick)
+        events.append(event)
+        crc = _digest_event(crc, event)
+
+    for tick in range(config.ticks):
+        if config.sliding_window:
+            for tenant in range(config.tenants):
+                delta = _window_delta(rng, models[tenant], config, tick)
+                if delta is not None:
+                    emit(WorkloadEvent(tick=tick, tenant=tenant, kind=DELTA,
+                                       delta=delta))
+        for _ in range(config.deltas_per_tick):
+            tenant = int(rng.choice(config.tenants, p=weights))
+            if rng.random() < config.feature_fraction:
+                delta = _feature_delta(rng, models[tenant], config,
+                                       feature_dims[tenant])
+            else:
+                delta = _edge_delta(rng, models[tenant], config)
+            emit(WorkloadEvent(tick=tick, tenant=tenant, kind=DELTA,
+                               delta=delta))
+        if tick % config.infer_every == config.infer_every - 1:
+            for tenant in range(config.tenants):
+                mode = ("incremental"
+                        if rng.random() < config.incremental_fraction
+                        else "full")
+                emit(WorkloadEvent(tick=tick, tenant=tenant, kind=INFER,
+                                   mode=mode))
+        if config.snapshot_every and (
+                tick % config.snapshot_every == config.snapshot_every - 1):
+            for tenant in range(config.tenants):
+                emit(WorkloadEvent(tick=tick, tenant=tenant, kind=SNAPSHOT,
+                                   mode="full"))
+    return WorkloadTrace(config=config, events=tuple(events), digest=crc)

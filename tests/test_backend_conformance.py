@@ -210,3 +210,70 @@ class TestExecutorEquivalence:
         finally:
             process.close()
         assert_scores_match(backend, actual, expected)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStreamingDeltaConformance:
+    """Backends advertising ``apply_delta`` must survive a sustained stream.
+
+    50 seeded interleaved deltas (feature refreshes + edge churn) are pushed
+    through twin sessions over identical graph copies: session A applies each
+    delta eagerly (``defer=False``), session B lets them coalesce in its
+    :class:`DeltaBuffer` (``defer=True``) and flushes at each inference
+    checkpoint.  Every 10 deltas both sides infer — scores must agree to the
+    backend's conformance bar (bit-exact for the exact backends, 1e-9
+    otherwise) at every checkpoint, not just at the end.
+    """
+
+    def test_coalesced_stream_matches_eager_application(self, backend,
+                                                        executor):
+        from repro.inference.backends import get_backend
+        if getattr(get_backend(backend), "apply_delta", None) is None:
+            pytest.skip(f"backend {backend!r} has no apply_delta hook")
+
+        rng = np.random.default_rng(41)
+        graph_eager = make_graph(seed=17)
+        graph_coalesced = make_graph(seed=17)
+        model = make_model()
+        num_edges = graph_eager.num_edges     # virtual post-delta edge count
+        num_nodes = graph_eager.num_nodes
+
+        def next_delta() -> GraphDelta:
+            nonlocal num_edges
+            if rng.random() < 0.6:
+                size = int(rng.integers(1, 8))
+                ids = rng.choice(num_nodes, size=size, replace=False)
+                return GraphDelta(
+                    node_ids=ids,
+                    node_features=rng.standard_normal((size, 8)))
+            add = int(rng.integers(1, 5))
+            remove = min(int(rng.integers(0, 3)), num_edges - 1)
+            removed = (rng.choice(num_edges, size=remove, replace=False)
+                       if remove else None)
+            num_edges += add - remove
+            return GraphDelta(
+                added_src=rng.integers(0, num_nodes, size=add),
+                added_dst=rng.integers(0, num_nodes, size=add),
+                removed_edge_ids=removed)
+
+        eager = InferenceSession(model, make_config(backend, executor))
+        eager.prepare(graph_eager)
+        coalesced = InferenceSession(model, make_config(backend, executor))
+        coalesced.prepare(graph_coalesced)
+        checkpoints = 0
+        try:
+            for index in range(50):
+                delta = next_delta()
+                eager.apply_delta(delta, defer=False)
+                coalesced.apply_delta(delta, defer=True)
+                if (index + 1) % 10 == 0:
+                    mode = "incremental" if (index + 1) % 20 == 0 else "full"
+                    expected = eager.infer(mode=mode).scores
+                    actual = coalesced.infer(mode=mode).scores
+                    assert_scores_match(backend, actual, expected)
+                    checkpoints += 1
+        finally:
+            eager.close()
+            coalesced.close()
+        assert checkpoints == 5

@@ -423,3 +423,133 @@ class TestLifecycleAndMetrics:
         # Percentiles come from the session's own measured latency samples.
         assert tenant_a["p50_tick_seconds"] > 0
         assert snapshot.describe().startswith("gateway:")
+
+
+class TestFaultPaths:
+    """Serving-tier failure paths: eviction races and overload hints."""
+
+    def test_delta_submitted_after_eviction_still_lands(self):
+        # Evicting the tenant's pooled session between requests must not
+        # lose a subsequently submitted delta: apply_delta mirrors onto the
+        # registered graph handle, so the re-prepared session sees it.
+        model = make_model()
+        graph = make_graph(70)
+        reference = make_graph(70)
+        rng = np.random.default_rng(17)
+        ids = rng.choice(graph.num_nodes, size=5, replace=False)
+        rows = rng.standard_normal((5, FEATURE_DIM))
+
+        async def run():
+            pool = SessionPool(model, make_config(), capacity=2)
+            async with ServingGateway(pool) as gateway:
+                gateway.register("tenant", graph)
+                await gateway.warm("tenant")
+                assert pool.evict(graph)
+                await gateway.submit_delta("tenant", GraphDelta(
+                    node_ids=ids, node_features=rows))
+                return await gateway.infer("tenant")
+
+        result = asyncio.run(run())
+        reference.node_features[ids] = rows
+        solo = SessionPool(model, make_config(), capacity=2)
+        np.testing.assert_array_equal(result.scores,
+                                      solo.infer(reference).scores)
+
+    def test_delta_stream_survives_racing_evictions(self):
+        # Hammer the same race from a second thread: evictions fire
+        # concurrently with submit_delta/infer traffic, and at the end the
+        # tenant's scores must equal a never-evicted reference that applied
+        # the identical delta sequence.
+        model = make_model()
+        graph = make_graph(71)
+        reference = make_graph(71)
+        rng = np.random.default_rng(23)
+        deltas = []
+        for _ in range(12):
+            ids = rng.choice(graph.num_nodes, size=4, replace=False)
+            deltas.append((ids, rng.standard_normal((4, FEATURE_DIM))))
+
+        async def run():
+            pool = SessionPool(model, make_config(), capacity=2)
+            loop = asyncio.get_running_loop()
+            async with ServingGateway(pool) as gateway:
+                gateway.register("tenant", graph)
+                await gateway.warm("tenant")
+                for index, (ids, rows) in enumerate(deltas):
+                    evictor = loop.run_in_executor(None, pool.evict, graph)
+                    await gateway.submit_delta("tenant", GraphDelta(
+                        node_ids=ids, node_features=rows))
+                    await evictor
+                    if index % 3 == 2:
+                        await gateway.infer("tenant")
+                return await gateway.infer("tenant")
+
+        result = asyncio.run(run())
+        for ids, rows in deltas:
+            reference.node_features[ids] = rows
+        solo = SessionPool(model, make_config(), capacity=2)
+        np.testing.assert_array_equal(result.scores,
+                                      solo.infer(reference).scores)
+
+    def test_retry_after_reflects_queue_depth_and_latency(self):
+        # With latency history the hint is ceil(depth / max_batch) * mean
+        # tick latency (the default floor is pinned tiny so the estimate,
+        # not the fallback, is under test).
+        model = make_model()
+        graph = make_graph(72)
+
+        async def run():
+            pool = SessionPool(model, make_config(), capacity=2)
+            config = GatewayConfig(max_queue_depth=2, max_batch=1,
+                                   default_retry_after_seconds=1e-9)
+            async with ServingGateway(pool, config) as gateway:
+                gateway.register("tenant", graph)
+                await gateway.warm("tenant")
+                await gateway.infer("tenant")
+                await gateway.infer("tenant")
+                mean_before = gateway.tenant_stats("tenant").mean_tick_seconds
+                assert mean_before > 0
+
+                session = pool.session_for(graph)
+                gate = _GatedBackend(session.backend)
+                session.backend = gate
+                in_flight = [asyncio.create_task(gateway.infer("tenant"))
+                             for _ in range(2)]
+                await asyncio.get_running_loop().run_in_executor(
+                    None, gate.entered.wait, 30)
+                with pytest.raises(Overloaded) as excinfo:
+                    await gateway.infer("tenant")
+                gate.release.set()
+                await asyncio.gather(*in_flight)
+                return excinfo.value, mean_before
+
+        overloaded, mean_before = asyncio.run(run())
+        # depth 2, max_batch 1 -> two ticks to drain, each ~mean_before.
+        assert overloaded.retry_after == pytest.approx(2 * mean_before)
+        assert overloaded.queue_depth == 2
+
+    def test_retry_after_falls_back_before_any_history(self):
+        model = make_model()
+        graph = make_graph(73)
+
+        async def run():
+            pool = SessionPool(model, make_config(), capacity=2)
+            config = GatewayConfig(max_queue_depth=1, max_batch=1,
+                                   default_retry_after_seconds=0.25)
+            async with ServingGateway(pool, config) as gateway:
+                gateway.register("tenant", graph)
+                await gateway.warm("tenant")      # warms the plan, no sample
+                session = pool.session_for(graph)
+                gate = _GatedBackend(session.backend)
+                session.backend = gate
+                blocked = asyncio.create_task(gateway.infer("tenant"))
+                await asyncio.get_running_loop().run_in_executor(
+                    None, gate.entered.wait, 30)
+                with pytest.raises(Overloaded) as excinfo:
+                    await gateway.infer("tenant")
+                gate.release.set()
+                await blocked
+                return excinfo.value
+
+        overloaded = asyncio.run(run())
+        assert overloaded.retry_after == pytest.approx(0.25)

@@ -14,6 +14,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.cluster.executor import WorkerCrashError, available_executors
 from repro.gnn import export_signature
 from repro.gnn.model import build_model
 from repro.graph.generators import powerlaw_graph
@@ -692,3 +693,48 @@ class TestLatencyAccounting:
         assert stats.total_infer_seconds == pytest.approx(
             sum(result.elapsed_seconds for result in results))
         assert "preparing" in stats.describe() and "serving" in stats.describe()
+
+
+class TestCrashIsolation:
+    """A worker crash in one pooled tenant must not poison its siblings."""
+
+    @pytest.mark.skipif(
+        "process" not in available_executors(),
+        reason="process executor unavailable")
+    def test_sibling_tenants_survive_a_worker_kill(self):
+        import os
+        import signal
+
+        config = InferenceConfig(
+            backend="pregel", num_workers=2, executor="process",
+            strategies=StrategyConfig(partial_gather=True, broadcast=False,
+                                      shadow_nodes=False,
+                                      hub_threshold_override=1_000_000))
+        pool = SessionPool(make_model(), config, capacity=4)
+        graph_a = make_graph(81)
+        graph_b = make_graph(82)
+        try:
+            baseline_a = pool.infer(graph_a).scores
+            baseline_b = pool.infer(graph_b).scores
+
+            # SIGKILL one of tenant A's workers; join the corpse so the next
+            # execution deterministically sees the dead pipe.
+            session_a = pool.session_for(graph_a)
+            engine = session_a.plan.state["engine"]
+            victim = next(proc for proc in engine._executor._processes
+                          if proc.is_alive())
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10.0)
+
+            with pytest.raises(WorkerCrashError):
+                pool.infer(graph_a)
+
+            # Tenant B's own worker pool is untouched: no crash, no drift.
+            after_b = pool.infer(graph_b).scores
+            np.testing.assert_array_equal(after_b, baseline_b)
+
+            # Tenant A recovers on retry with bit-identical scores.
+            recovered_a = pool.infer(graph_a).scores
+            np.testing.assert_array_equal(recovered_a, baseline_a)
+        finally:
+            pool.clear()

@@ -1,0 +1,161 @@
+"""Short soak runs: clean steady state, reproducibility, crash recovery.
+
+These are the tier-1 soaks — a few simulated seconds each, every inference
+tick checked against the un-faulted oracle.  The long (nightly) soak lives in
+``benchmarks/test_bench_streaming_soak.py`` behind ``$REPRO_SOAK_SECONDS``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.executor import available_executors
+from repro.streaming.faults import FaultEvent, FaultPlan
+from repro.streaming.soak import (
+    ARTIFACT_NAME,
+    SOAK_SECONDS_ENV,
+    SOAK_SEED_ENV,
+    SoakConfig,
+    dump_report,
+    run_soak,
+    soak_seconds_from_env,
+    soak_seed_from_env,
+)
+from repro.streaming.workload import WorkloadConfig
+
+PROCESS_AVAILABLE = "process" in available_executors()
+
+SHORT = WorkloadConfig(seed=5, ticks=6, tenants=2, deltas_per_tick=2,
+                       infer_every=2, snapshot_every=3, sliding_window=2)
+
+
+def small_soak(**overrides) -> SoakConfig:
+    defaults = dict(workload=SHORT, graph_nodes=120, num_workers=2,
+                    feature_dim=6, num_classes=3)
+    defaults.update(overrides)
+    return SoakConfig(**defaults)
+
+
+class TestSteadyState:
+    def test_gateway_soak_is_clean_and_accountable(self):
+        # executor=None follows $REPRO_EXECUTOR, so the CI matrix runs this
+        # same soak under both substrates.
+        report = run_soak(small_soak())
+        assert report.clean
+        assert report.mismatches == 0 and report.first_mismatch_tick == -1
+        assert report.deltas_delivered == report.trace_deltas
+        assert report.infers_served == report.trace_infers + report.trace_snapshots
+        assert report.oracle_checks == report.infers_served
+        assert report.trace_snapshots > 0
+        assert set(report.snapshot_digests) == {"0", "1"}
+        assert report.crashes == 0 and report.fault_schedule == []
+
+    def test_report_round_trips_through_json(self, tmp_path):
+        report = run_soak(small_soak())
+        path = dump_report(report, directory=str(tmp_path))
+        assert path.name == ARTIFACT_NAME
+        payload = json.loads(path.read_text())
+        assert payload["mismatches"] == 0
+        assert payload["trace_digest"] == report.trace_digest
+        assert payload["snapshot_digests"] == report.snapshot_digests
+        assert "p99_tick_seconds" in payload
+
+    def test_same_seed_reproduces_the_deterministic_summary(self):
+        plan = FaultPlan.generate(seed=3, ticks=SHORT.ticks, tenants=2,
+                                  kinds=("evict_tenant", "delay_deltas"),
+                                  rate=0.4)
+        config = small_soak(faults=plan, executor="serial")
+        first = run_soak(config)
+        second = run_soak(config)
+        assert first.deterministic_summary() == second.deterministic_summary()
+        assert first.fault_digest == plan.digest
+
+    def test_bare_pool_path_matches_the_gateway_path(self):
+        # Same trace, same seed — the gateway front-end must not change what
+        # gets computed, so the temporal snapshot digests agree exactly.
+        gateway = run_soak(small_soak(executor="serial"))
+        bare = run_soak(small_soak(executor="serial", use_gateway=False))
+        assert bare.clean
+        assert bare.snapshot_digests == gateway.snapshot_digests
+        assert bare.trace_digest == gateway.trace_digest
+
+
+class TestFaultedSoaks:
+    @pytest.mark.skipif(not PROCESS_AVAILABLE,
+                        reason="process executor unavailable")
+    def test_worker_kills_recover_mid_stream(self):
+        plan = FaultPlan(seed=0, ticks=SHORT.ticks, events=(
+            FaultEvent(tick=1, kind="kill_worker", tenant=0),
+            FaultEvent(tick=3, kind="kill_worker", tenant=1, slot=1)))
+        report = run_soak(small_soak(faults=plan, executor="process"))
+        assert report.crashes >= 1
+        assert report.recoveries == report.crashes
+        assert report.unrecovered == 0
+        assert report.clean, "post-recovery scores diverged from the oracle"
+        assert all(a <= 3 for a in report.recovery_attempts)
+        assert any("killed worker pid" in note for note in report.fault_notes)
+
+    def test_evictions_and_delays_leave_the_stream_clean(self):
+        plan = FaultPlan(seed=0, ticks=SHORT.ticks, events=(
+            FaultEvent(tick=1, kind="evict_tenant", tenant=0),
+            FaultEvent(tick=2, kind="delay_deltas", tenant=0),
+            FaultEvent(tick=2, kind="delay_deltas", tenant=1),
+            FaultEvent(tick=4, kind="evict_tenant", tenant=1)))
+        report = run_soak(small_soak(faults=plan, executor="serial"))
+        assert report.clean
+        # Delayed deltas still arrive (as the next tick's burst) — nothing
+        # is dropped from the logical stream.
+        assert report.deltas_delivered == report.trace_deltas
+        assert len(report.fault_notes) == 4
+        assert report.fault_schedule == plan.schedule()
+
+
+class TestResourceCeilings:
+    @pytest.mark.skipif(not PROCESS_AVAILABLE,
+                        reason="process executor unavailable")
+    def test_shm_segments_plateau_under_edge_churn(self):
+        # Pure edge-delta churn forces a wholesale src/dst array swap every
+        # tick; the PR-5 segment-leak fix means the parent-side shm census
+        # must plateau — a 200-tick run ends with exactly as many segments
+        # as a 20-tick run of the same stream.
+        def churn(ticks: int) -> SoakConfig:
+            return small_soak(
+                workload=WorkloadConfig(seed=13, ticks=ticks, tenants=1,
+                                        deltas_per_tick=1,
+                                        feature_fraction=0.0,
+                                        infer_every=20),
+                executor="process", use_gateway=False, graph_nodes=80)
+
+        short = run_soak(churn(20))
+        long = run_soak(churn(200))
+        assert long.clean and short.clean
+        assert short.final_shm_segments > 0
+        assert long.final_shm_segments == short.final_shm_segments
+        assert long.max_shm_segments == short.max_shm_segments
+
+
+class TestEnvKnobs:
+    def test_soak_seconds_default_and_override(self, monkeypatch):
+        monkeypatch.delenv(SOAK_SECONDS_ENV, raising=False)
+        assert soak_seconds_from_env(30) == 30
+        monkeypatch.setenv(SOAK_SECONDS_ENV, "600")
+        assert soak_seconds_from_env(30) == 600
+
+    def test_soak_seconds_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(SOAK_SECONDS_ENV, "soon")
+        with pytest.raises(ValueError, match="not an integer"):
+            soak_seconds_from_env()
+        monkeypatch.setenv(SOAK_SECONDS_ENV, "0")
+        with pytest.raises(ValueError, match="positive"):
+            soak_seconds_from_env()
+
+    def test_soak_seed_default_and_override(self, monkeypatch):
+        monkeypatch.delenv(SOAK_SEED_ENV, raising=False)
+        assert soak_seed_from_env(7) == 7
+        monkeypatch.setenv(SOAK_SEED_ENV, "-3")
+        assert soak_seed_from_env(7) == -3
+        monkeypatch.setenv(SOAK_SEED_ENV, "nope")
+        with pytest.raises(ValueError, match="not an integer"):
+            soak_seed_from_env()

@@ -1,0 +1,205 @@
+"""Workload generator contracts: reproducibility, validity, scenarios.
+
+The trace is the soak harness's ground truth, so it has to be (a) **byte
+reproducible** from its seed, (b) **valid** — every ``removed_edge_ids``
+position must be legal at the moment its delta applies, both when deltas are
+applied eagerly one by one and when they coalesce through a
+:class:`~repro.inference.delta.DeltaBuffer` — and (c) faithful to its
+scenario knobs (tenant skew, temporal snapshots, sliding windows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import powerlaw_graph
+from repro.graph.graph import Graph
+from repro.inference.delta import DeltaBuffer, apply_delta_to_graph
+from repro.streaming.workload import (
+    DELTA,
+    INFER,
+    SNAPSHOT,
+    WorkloadConfig,
+    generate_trace,
+)
+
+FEATURE_DIM = 6
+
+
+def make_graphs(config: WorkloadConfig, num_nodes: int = 120):
+    return [powerlaw_graph(num_nodes=num_nodes, avg_degree=4.0, skew="out",
+                           feature_dim=FEATURE_DIM, num_classes=3,
+                           seed=900 + tenant)
+            for tenant in range(config.tenants)]
+
+
+def edge_featured_graph(num_nodes: int = 40, num_edges: int = 60) -> Graph:
+    rng = np.random.default_rng(5)
+    return Graph(src=rng.integers(0, num_nodes, size=num_edges),
+                 dst=rng.integers(0, num_nodes, size=num_edges),
+                 node_features=rng.standard_normal((num_nodes, FEATURE_DIM)),
+                 edge_features=rng.standard_normal((num_edges, 3)),
+                 num_nodes=num_nodes)
+
+
+def replay_eagerly(trace, graphs):
+    """Apply every delta in trace order directly onto graph copies."""
+    for event in trace.events:
+        if event.kind == DELTA:
+            apply_delta_to_graph(graphs[event.tenant], event.delta)
+
+
+class TestReproducibility:
+    def test_same_seed_same_trace(self):
+        config = WorkloadConfig(seed=21, ticks=12, tenants=3,
+                                deltas_per_tick=3, snapshot_every=4,
+                                sliding_window=3)
+        first = generate_trace(make_graphs(config), config)
+        second = generate_trace(make_graphs(config), config)
+        assert first.digest == second.digest
+        assert len(first.events) == len(second.events)
+        for left, right in zip(first.events, second.events):
+            assert (left.tick, left.tenant, left.kind, left.mode) == (
+                right.tick, right.tenant, right.kind, right.mode)
+
+    def test_different_seed_different_stream(self):
+        base = WorkloadConfig(seed=21, ticks=12, tenants=2, deltas_per_tick=3)
+        other = WorkloadConfig(seed=22, ticks=12, tenants=2, deltas_per_tick=3)
+        assert (generate_trace(make_graphs(base), base).digest
+                != generate_trace(make_graphs(other), other).digest)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("sliding_window", [0, 3])
+    def test_eager_and_coalesced_application_agree(self, sliding_window):
+        # The generator's virtual edge-list model must match both consumers:
+        # eager per-delta application and DeltaBuffer coalescing (one merged
+        # flush per inferred tick) must produce byte-identical graph arrays.
+        config = WorkloadConfig(seed=33, ticks=15, tenants=2,
+                                deltas_per_tick=3, feature_fraction=0.4,
+                                sliding_window=sliding_window)
+        graphs = make_graphs(config)
+        eager = make_graphs(config)
+        coalesced = make_graphs(config)
+        trace = generate_trace(graphs, config)
+
+        replay_eagerly(trace, eager)
+
+        buffers = [DeltaBuffer(graph) for graph in coalesced]
+        for event in trace.events:
+            if event.kind == DELTA:
+                buffers[event.tenant].add(event.delta)
+        for graph, buffer in zip(coalesced, buffers):
+            apply_delta_to_graph(graph, buffer.merge())
+
+        for tenant, (left, right) in enumerate(zip(eager, coalesced)):
+            np.testing.assert_array_equal(left.src, right.src,
+                                          err_msg=f"tenant {tenant} src")
+            np.testing.assert_array_equal(left.dst, right.dst,
+                                          err_msg=f"tenant {tenant} dst")
+            np.testing.assert_array_equal(left.node_features,
+                                          right.node_features,
+                                          err_msg=f"tenant {tenant} features")
+
+    def test_edge_featured_graphs_get_edge_feature_rows(self):
+        config = WorkloadConfig(seed=4, ticks=8, tenants=1, deltas_per_tick=2,
+                                feature_fraction=0.0)
+        graph = edge_featured_graph()
+        trace = generate_trace([graph], config)
+        adds = [event for event in trace.events
+                if event.kind == DELTA and event.delta.added_src is not None]
+        assert adds, "edge-churn trace emitted no edge additions"
+        for event in adds:
+            assert event.delta.added_edge_features is not None
+        replay_eagerly(trace, [graph])           # stays valid end to end
+        assert graph.edge_features.shape[0] == graph.num_edges
+
+    def test_removals_respect_the_min_edges_floor(self):
+        config = WorkloadConfig(seed=9, ticks=40, tenants=1, deltas_per_tick=2,
+                                feature_fraction=0.0, max_edges_added=1,
+                                max_edges_removed=6, min_edges=30)
+        graphs = make_graphs(config, num_nodes=40)
+        trace = generate_trace(graphs, config)
+        graph = make_graphs(config, num_nodes=40)[0]
+        for event in trace.events:
+            if event.kind == DELTA:
+                apply_delta_to_graph(graph, event.delta)
+                assert graph.num_edges >= config.min_edges
+
+
+class TestScenarios:
+    def test_tenant_skew_concentrates_churn(self):
+        config = WorkloadConfig(seed=14, ticks=60, tenants=4,
+                                deltas_per_tick=4, tenant_skew=2.0)
+        trace = generate_trace(make_graphs(config), config)
+        per_tenant = [0] * config.tenants
+        for event in trace.events:
+            if event.kind == DELTA:
+                per_tenant[event.tenant] += 1
+        assert per_tenant[0] > per_tenant[-1] * 2
+
+    def test_snapshot_and_infer_cadence(self):
+        config = WorkloadConfig(seed=3, ticks=12, tenants=2, infer_every=3,
+                                snapshot_every=4)
+        trace = generate_trace(make_graphs(config), config)
+        assert trace.count(INFER) == 2 * (12 // 3)
+        assert trace.count(SNAPSHOT) == 2 * (12 // 4)
+        modes = {event.mode for event in trace.events
+                 if event.kind == SNAPSHOT}
+        assert modes == {"full"}          # snapshots are always comparable
+
+    def test_sliding_window_bounds_the_edge_count(self):
+        # With churn off, only window edges accrete — and every appended edge
+        # expires after `sliding_window` ticks, so the live edge count stays
+        # within base + window * edges_per_tick at every step.
+        config = WorkloadConfig(seed=8, ticks=30, tenants=1,
+                                deltas_per_tick=0, sliding_window=4,
+                                window_edges_per_tick=3)
+        graphs = make_graphs(config)
+        base_edges = graphs[0].num_edges
+        trace = generate_trace(graphs, config)
+        graph = make_graphs(config)[0]
+        ceiling = base_edges + config.sliding_window * config.window_edges_per_tick
+        saw_expiry = False
+        for event in trace.events:
+            if event.kind != DELTA:
+                continue
+            if (event.delta.removed_edge_ids is not None
+                    and event.delta.removed_edge_ids.size):
+                saw_expiry = True
+            apply_delta_to_graph(graph, event.delta)
+            assert graph.num_edges <= ceiling
+        assert saw_expiry, "the window never expired an edge"
+        # Steady state: exactly window * per-tick edges live above the base.
+        assert graph.num_edges == ceiling
+
+    def test_trace_describe_and_per_tick(self):
+        config = WorkloadConfig(seed=2, ticks=5, tenants=1, deltas_per_tick=1)
+        trace = generate_trace(make_graphs(config), config)
+        assert "digest" in trace.describe()
+        assert sum(len(trace.per_tick(t)) for t in range(5)) == len(trace.events)
+
+
+class TestValidation:
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="ticks"):
+            WorkloadConfig(ticks=0)
+        with pytest.raises(ValueError, match="tenants"):
+            WorkloadConfig(tenants=0)
+        with pytest.raises(ValueError, match="feature_fraction"):
+            WorkloadConfig(feature_fraction=1.5)
+        with pytest.raises(ValueError, match="infer_every"):
+            WorkloadConfig(infer_every=0)
+
+    def test_generate_rejects_mismatched_tenancy(self):
+        config = WorkloadConfig(seed=1, ticks=2, tenants=2)
+        with pytest.raises(ValueError, match="tenant"):
+            generate_trace(make_graphs(WorkloadConfig(tenants=1)), config)
+
+    def test_generate_requires_node_features(self):
+        config = WorkloadConfig(seed=1, ticks=2, tenants=1)
+        bare = Graph(src=np.array([0, 1]), dst=np.array([1, 0]),
+                     node_features=None, num_nodes=2)
+        with pytest.raises(ValueError, match="node features"):
+            generate_trace([bare], config)
