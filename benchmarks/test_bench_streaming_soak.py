@@ -11,9 +11,11 @@ Gates, in order of importance:
 
 1. **Deterministic SLOs (always asserted)** — the soak is ``clean`` (every
    tick's scores matched the un-faulted oracle; every injected crash
-   recovered), nothing in the logical stream was dropped, and the shm
-   segment census never grew past the steady state a short un-faulted run
-   of the same stack establishes (the segment-leak ceiling).
+   recovered), nothing in the logical stream was dropped, zero delta-forced
+   re-plans on the stable-hub stream (shadow nodes on — edge deltas must
+   patch cached plans in place), and the shm segment census never grew past
+   the steady state a short un-faulted run of the same stack establishes
+   (the segment-leak ceiling).
 2. **Latency SLO (core-gated)** — p99 tick latency stays under a ceiling;
    on starved runners the ceiling is skipped, not the correctness gates.
    ``REPRO_BENCH_MIN_SPEEDUP_SCALE`` relaxes the ceiling the same way it
@@ -62,7 +64,7 @@ def soak_config(ticks: int, seed: int, faults) -> SoakConfig:
         workload=WorkloadConfig(seed=seed, ticks=ticks, tenants=TENANTS,
                                 deltas_per_tick=2, infer_every=2,
                                 snapshot_every=5, sliding_window=3),
-        faults=faults, graph_nodes=GRAPH_NODES)
+        faults=faults, graph_nodes=GRAPH_NODES, shadow_nodes=True)
 
 
 @pytest.mark.paper_artifact("streaming_soak")
@@ -94,6 +96,9 @@ def test_bench_streaming_soak(benchmark):
     assert report.deltas_delivered == report.trace_deltas, (
         "the logical stream dropped deltas")
     assert report.infers_served == report.oracle_checks
+    assert report.replans == 0, (
+        f"{report.replans} delta-forced re-plan(s) on the stable-hub stream "
+        "— edge deltas must patch cached plans in place")
     if report.executor == "process":
         assert baseline.max_shm_segments > 0
         assert report.max_shm_segments <= baseline.max_shm_segments, (

@@ -32,7 +32,12 @@ from repro.graph.graph import Graph
 from repro.graph.partition import HashPartitioner
 from repro.inference.config import InferenceConfig
 from repro.inference.shadow import ShadowNodePlan, apply_shadow_nodes
-from repro.inference.strategies import StrategyPlan, build_strategy_plan
+from repro.inference.strategies import (
+    StrategyPlan,
+    build_strategy_plan,
+    hub_threshold,
+    select_hubs,
+)
 
 
 @dataclass
@@ -116,11 +121,14 @@ class Backend(Protocol):
       ``None`` to make the session fall back to a full ``execute``.
 
     ``pregel`` implements both hooks (bit-identical incremental runs over a
-    warm partition cache); ``mapreduce`` implements both too — feature deltas
-    patch its cached input records row-wise and incremental runs replay only
-    the dirty region's dependency closure, splicing into cached scores
-    (tolerance-identical, see :mod:`repro.inference.mapreduce_adaptor`);
-    ``khop`` has neither and always takes the full-recompute default.
+    warm partition cache, feature *and* hub-preserving edge deltas — under
+    shadow nodes included, via the position-stable mirror assignment);
+    ``mapreduce`` implements both too — feature deltas patch its cached input
+    records row-wise, edge deltas splice the records' adjacency payloads in
+    place, and incremental runs replay only the dirty region's dependency
+    closure, splicing into cached scores (tolerance-identical, see
+    :mod:`repro.inference.mapreduce_adaptor`); ``khop`` has neither and
+    always takes the full-recompute default.
     """
 
     name: str
@@ -209,6 +217,37 @@ def merge_hub_mirrors(strategy_plan: StrategyPlan,
             dtype=np.int64)
         hubs = np.concatenate([hubs, mirrors])
     strategy_plan.out_degree_hubs = np.unique(hubs)
+
+
+def check_edge_delta_stability(plan: ExecutionPlan) -> Tuple[bool, str, int]:
+    """Re-check the hub contract after an edge delta landed on ``plan.graph``.
+
+    Returns ``(stable, reason, new_threshold)``.  Stable means an in-place
+    edge patch is provably equivalent to a re-plan: the recomputed hub
+    threshold selects the same base-graph hub set (under shadow nodes the
+    strategy plan's ``out_degree_hubs`` also carries mirror ids from
+    :func:`merge_hub_mirrors`, so only ids below the original range compare),
+    and every hub keeps its mirror-group count
+    (:meth:`~repro.inference.shadow.ShadowNodePlan.mirror_groups_stable`) —
+    the two inputs the mirror allocation is a function of.  On success the
+    caller records ``new_threshold`` on the strategy plan.
+    """
+    graph, config = plan.graph, plan.config
+    new_threshold = hub_threshold(graph.num_edges, config.num_workers,
+                                  config.strategies.hub_lambda,
+                                  config.strategies.hub_threshold_override)
+    degrees = graph.out_degrees()
+    new_hubs = select_hubs(degrees, new_threshold)
+    old_hubs = plan.strategy_plan.out_degree_hubs
+    shadow = plan.shadow_plan
+    if shadow is not None:
+        old_hubs = old_hubs[old_hubs < shadow.original_num_nodes]
+    if not np.array_equal(new_hubs, old_hubs):
+        return False, "the out-degree hub set changed", new_threshold
+    if shadow is not None and not shadow.mirror_groups_stable(
+            degrees, new_threshold, config.num_workers):
+        return False, "a hub's mirror-group count changed", new_threshold
+    return True, "", new_threshold
 
 
 def plan_gas_execution(backend_name: str, model: GNNModel, graph: Graph,

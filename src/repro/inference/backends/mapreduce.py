@@ -5,14 +5,16 @@ once; every execution replays the cached records through a fresh engine, so
 repeated ``infer()`` calls skip the per-node table scan.
 
 This backend implements the optional delta hooks of the
-:class:`~repro.inference.backends.base.Backend` protocol for **feature
-deltas**: ``apply_delta`` patches the cached input records row-wise (no
-re-plan, no per-node table rescan), and ``execute_incremental`` replays only
-the delta's dependency closure, splicing the recomputed scores into the
-matrix cached by the last full run (see
-:mod:`repro.inference.mapreduce_adaptor` for the closure construction and the
-tolerance-identity caveat).  Edge deltas re-plan: the records' adjacency
-payloads and the shadow rewrite both depend on edge positions.
+:class:`~repro.inference.backends.base.Backend` protocol: ``apply_delta``
+patches the cached input records in place — feature rows row-wise, edge
+deltas by rebuilding only the touched records' adjacency payloads
+(:func:`~repro.inference.mapreduce_adaptor.patch_record_adjacency`, using
+the position-stable shadow mirror assignment when mirrors exist) — and
+``execute_incremental`` replays only the delta's dependency closure,
+splicing the recomputed scores into the matrix cached by the last full run
+(see :mod:`repro.inference.mapreduce_adaptor` for the closure construction
+and the tolerance-identity caveat).  Edge deltas re-plan only when the hub
+set or a hub's mirror-group count changes.
 """
 
 from __future__ import annotations
@@ -27,18 +29,27 @@ from repro.cluster.resources import ClusterSpec
 from repro.gnn.model import GNNModel
 from repro.graph.graph import Graph
 from repro.inference.config import InferenceConfig
-from repro.inference.delta import DeltaOutcome, GraphDelta, apply_delta_to_graph
+from repro.inference.delta import (
+    DeltaOutcome,
+    GraphDelta,
+    apply_delta_to_graph,
+    validate_delta_against_graph,
+)
 from repro.inference.backends.base import (
     ExecutionPlan,
+    check_edge_delta_stability,
     plan_gas_execution,
     register_backend,
 )
 from repro.inference.mapreduce_adaptor import (
     build_input_records,
     patch_input_records,
+    patch_record_adjacency,
     run_mapreduce_inference,
     run_mapreduce_inference_incremental,
 )
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 @register_backend("mapreduce")
@@ -90,33 +101,59 @@ class MapReduceBackend:
     # optional delta hooks
     # ------------------------------------------------------------------ #
     def apply_delta(self, plan: ExecutionPlan, delta: GraphDelta) -> DeltaOutcome:
-        """Patch the cached input records for feature deltas; else re-plan.
+        """Patch the cached input records in place; re-plan only on hub churn.
 
         Feature rows land on the base graph, propagate into shadow-mirror
         copies through the replica CSR, and are scattered row-wise into the
-        id-indexed record cache — the full-recompute penalty the record scan
-        used to impose is gone.  Edge deltas always invalidate: each record's
-        adjacency payload (and, under shadow nodes, the mirror slicing)
-        depends on edge positions, so the delta lands on the graph and the
-        session re-plans from it.
+        id-indexed record cache.  Edge deltas splice into the same cache:
+        the working-graph sources whose out-edge set changes (removal
+        survivors plus the mirror-assigned sources of appends) get their
+        record's adjacency payload rebuilt from the patched working graph —
+        byte-identical to a fresh record scan, because the graph's adjacency
+        index orders edges per source stably.  Only a hub-set or
+        mirror-group-count change (:func:`check_edge_delta_stability`) lands
+        the delta on the graph and makes the session re-plan from it.
         """
         graph = plan.graph
+        removed_working_src = added_working_src = _EMPTY
         if delta.has_edge_changes:
-            apply_delta_to_graph(graph, delta)
-            return DeltaOutcome(
-                in_place=False,
-                reason="mapreduce patches feature deltas in place; edge deltas "
-                       "change the records' adjacency payloads and re-plan")
+            # Capture the removed edges' *working* sources (mirror ids under
+            # shadow) while the positions are still valid — the working graph
+            # keeps base edge order, so base positions index it 1:1.  The
+            # delta is validated first so a malformed one raises cleanly
+            # before any read or write.
+            validate_delta_against_graph(graph, delta)
+            if delta.removed_edge_ids is not None and delta.removed_edge_ids.size:
+                removed_working_src = plan.working_graph.src[
+                    delta.removed_edge_ids].copy()
 
         topo_dirty = apply_delta_to_graph(graph, delta)
-        shadow_plan = plan.shadow_plan
-        if shadow_plan is not None and shadow_plan.has_mirrors:
-            feature_dirty = shadow_plan.refresh_mirror_features(graph, delta.node_ids)
-        else:
-            feature_dirty = np.unique(delta.node_ids)
-        records = plan.state.get("input_records")
-        if records is not None and feature_dirty.size:
-            patch_input_records(records, plan.working_graph, feature_dirty)
+
+        if delta.has_edge_changes:
+            stable, why, new_threshold = check_edge_delta_stability(plan)
+            if not stable:
+                return DeltaOutcome(in_place=False, reason=why)
+            plan.strategy_plan.threshold = new_threshold
+            shadow_plan = plan.shadow_plan
+            if shadow_plan is not None:
+                added_working_src = shadow_plan.patch_edge_delta(graph, delta)
+            elif delta.added_src is not None:
+                added_working_src = delta.added_src
+            records = plan.state.get("input_records")
+            touched = np.concatenate([removed_working_src, added_working_src])
+            if records is not None and touched.size:
+                patch_record_adjacency(records, plan.working_graph, touched)
+
+        feature_dirty = _EMPTY
+        if delta.has_feature_changes:
+            shadow_plan = plan.shadow_plan
+            if shadow_plan is not None and shadow_plan.has_mirrors:
+                feature_dirty = shadow_plan.refresh_mirror_features(graph, delta.node_ids)
+            else:
+                feature_dirty = np.unique(delta.node_ids)
+            records = plan.state.get("input_records")
+            if records is not None and feature_dirty.size:
+                patch_input_records(records, plan.working_graph, feature_dirty)
         return DeltaOutcome(in_place=True, feature_dirty=feature_dirty,
                             topo_dirty=topo_dirty)
 
@@ -125,10 +162,13 @@ class MapReduceBackend:
                             topo_dirty: np.ndarray) -> Optional[Dict[str, np.ndarray]]:
         """Replay the dirty closure against cached scores, or None to go full.
 
-        Requires a warm score cache (one full run after the first delta) and a
-        feature-only dirty set; anything else falls back to ``execute``.
+        Requires a warm score cache (one full run after the first delta);
+        anything else falls back to ``execute``.  Topology-dirty destinations
+        seed the closure alongside feature-dirty nodes — the cached rows
+        outside the delta's reach stay exact, so splicing remains valid after
+        an in-place edge delta.
         """
-        if topo_dirty.size or not plan.config.incremental_state_cache:
+        if not plan.config.incremental_state_cache:
             return None
         cached_scores = plan.state.get("scores")
         input_records = plan.state.get("input_records")
@@ -137,7 +177,7 @@ class MapReduceBackend:
         outputs = run_mapreduce_inference_incremental(
             plan.model, plan.graph, plan.config, plan.strategy_plan,
             plan.shadow_plan, metrics, input_records, cached_scores,
-            feature_dirty, layout=plan.layout,
+            feature_dirty, topo_dirty=topo_dirty, layout=plan.layout,
             executor=self._plan_executor(plan))
         plan.state["scores"] = outputs["scores"].copy()
         return outputs

@@ -27,6 +27,7 @@ from repro.inference.config import InferenceConfig
 from repro.inference.delta import DeltaOutcome, GraphDelta, apply_delta_to_graph
 from repro.inference.backends.base import (
     ExecutionPlan,
+    check_edge_delta_stability,
     plan_gas_execution,
     register_backend,
 )
@@ -35,7 +36,6 @@ from repro.inference.pregel_adaptor import (
     run_pregel_inference,
     run_pregel_inference_incremental,
 )
-from repro.inference.strategies import hub_threshold, select_hubs
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -79,23 +79,25 @@ class PregelBackend:
         replica CSR) and every engine partition's feature slice are updated
         through one :class:`~repro.cluster.layout.ClusterLayout` translate +
         grouped scatter.  Edge deltas are applied in place only when that is
-        provably bit-stable: the hub set must survive the threshold re-check,
-        shadow-nodes must be off (edge positions feed the mirror slicing),
+        provably bit-stable: the hub set and every hub's mirror-group count
+        must survive the threshold re-check
+        (:func:`~repro.inference.backends.base.check_edge_delta_stability`),
         and every layer's ``apply_edge`` must be the identity (a projecting
-        apply_edge runs at edge-table shape, which the delta changes).
-        Anything else returns ``in_place=False`` after landing the delta on
-        the base graph, and the session re-plans from it.
+        apply_edge runs at edge-table shape, which the delta changes).  Under
+        shadow nodes the position-stable mirror assignment
+        (:meth:`~repro.inference.shadow.ShadowNodePlan.patch_edge_delta`)
+        splices the delta into the expanded working graph exactly as a fresh
+        rewrite would place it.  Anything else returns ``in_place=False``
+        after landing the delta on the base graph, and the session re-plans
+        from it.
         """
         graph = plan.graph
-        config = plan.config
         has_edge_features = graph.edge_features is not None
 
         in_place, reason = True, ""
         if delta.has_edge_changes:
-            if config.strategies.shadow_nodes:
-                in_place, reason = False, "edge deltas reshuffle shadow mirror slices"
-            elif any(not layer.apply_edge_is_identity(has_edge_features)
-                     for layer in plan.model.layers):
+            if any(not layer.apply_edge_is_identity(has_edge_features)
+                   for layer in plan.model.layers):
                 in_place, reason = False, ("edge-count changes are not bit-stable "
                                            "for projecting apply_edge layers")
 
@@ -105,14 +107,11 @@ class PregelBackend:
         topo_dirty = apply_delta_to_graph(graph, delta)
 
         if in_place and delta.has_edge_changes:
-            new_threshold = hub_threshold(graph.num_edges, config.num_workers,
-                                          config.strategies.hub_lambda,
-                                          config.strategies.hub_threshold_override)
-            new_hubs = select_hubs(graph.out_degrees(), new_threshold)
-            if not np.array_equal(new_hubs, plan.strategy_plan.out_degree_hubs):
-                in_place, reason = False, "the out-degree hub set changed"
-            else:
+            stable, why, new_threshold = check_edge_delta_stability(plan)
+            if stable:
                 plan.strategy_plan.threshold = new_threshold
+            else:
+                in_place, reason = False, why
         if not in_place:
             return DeltaOutcome(in_place=False, reason=reason)
 
@@ -132,15 +131,24 @@ class PregelBackend:
                     if sel.size:
                         engine.partitions[pid].node_features[local[sel]] = rows[sel]
 
-        if delta.has_edge_changes and engine is not None and plan.layout is not None:
-            # No shadow mirrors on this path, so working graph == base graph:
-            # regroup the updated edge list per owning partition (one stable
-            # argsort — the same slicing a fresh partitioning would produce;
-            # partitions that lost their last edge get empty arrays).
-            for pid, ids in plan.layout.group_by_owner(graph.src):
-                engine.partitions[pid].replace_out_edges(
-                    graph.src[ids], graph.dst[ids],
-                    None if graph.edge_features is None else graph.edge_features[ids])
+        if delta.has_edge_changes:
+            # Under shadow nodes, splice the delta into the expanded working
+            # graph first (position-stable mirror assignment); without
+            # mirrors the working graph *is* the base graph and the delta
+            # already landed on it above.
+            if plan.shadow_plan is not None:
+                plan.shadow_plan.patch_edge_delta(graph, delta)
+            if engine is not None and plan.layout is not None:
+                # Regroup the updated working edge list per owning partition
+                # (one stable argsort — the same slicing a fresh partitioning
+                # would produce; partitions that lost their last edge get
+                # empty arrays).
+                working = plan.working_graph
+                efeat = working.edge_features
+                for pid, ids in plan.layout.group_by_owner(working.src):
+                    engine.partitions[pid].replace_out_edges(
+                        working.src[ids], working.dst[ids],
+                        None if efeat is None else efeat[ids])
 
         return DeltaOutcome(in_place=True, feature_dirty=feature_dirty,
                             topo_dirty=topo_dirty)

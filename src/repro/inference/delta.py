@@ -334,18 +334,16 @@ def _check_node_ids(ids: np.ndarray, num_nodes: int, what: str) -> None:
             "adding nodes requires a fresh prepare()")
 
 
-def apply_delta_to_graph(graph: Graph, delta: GraphDelta) -> np.ndarray:
-    """Apply ``delta`` to ``graph`` in place; return the topology-dirty dsts.
+def validate_delta_against_graph(graph: Graph, delta: GraphDelta) -> None:
+    """Check ``delta`` against ``graph`` without touching either edge list.
 
-    Feature rows are overwritten, removed edges dropped, added edges appended
-    (in that order), and the graph's cached adjacency indices invalidated.
-    The return value is the unique array of destination ids whose in-edge set
-    changed — the seeds the incremental frontier needs besides the
-    feature-dirty nodes.
-
-    All validation happens before the first write: a rejected delta must
-    leave the graph untouched, or the session it belongs to would be wedged
-    between a half-applied graph and a fingerprint that no longer matches.
+    Raises ``ValueError`` on any mismatch — out-of-range node or edge ids,
+    feature-width disagreements, edge features present/absent against the
+    graph's buffers — and leaves both objects untouched, so callers can
+    validate at the API boundary (``session.apply_delta`` does, eager *and*
+    deferred) before committing to any mutation.  As a side effect the
+    delta's ``added_edge_features`` dtype is aligned to the graph's
+    edge-feature buffer, so a later concatenate never silently upcasts.
     """
     removing = delta.removed_edge_ids is not None and delta.removed_edge_ids.size > 0
     adding = delta.added_src is not None and delta.added_src.size > 0
@@ -378,6 +376,29 @@ def apply_delta_to_graph(graph: Graph, delta: GraphDelta) -> np.ndarray:
                 f"[{delta.added_src.size}, {graph.edge_features.shape[1]}] matrix "
                 f"matching the graph's edge-feature width; "
                 f"got shape {delta.added_edge_features.shape}")
+        if delta.added_edge_features is not None and (
+                delta.added_edge_features.dtype != graph.edge_features.dtype):
+            delta.added_edge_features = delta.added_edge_features.astype(
+                graph.edge_features.dtype, copy=False)
+
+
+def apply_delta_to_graph(graph: Graph, delta: GraphDelta) -> np.ndarray:
+    """Apply ``delta`` to ``graph`` in place; return the topology-dirty dsts.
+
+    Feature rows are overwritten, removed edges dropped, added edges appended
+    (in that order), and the graph's cached adjacency indices invalidated.
+    The return value is the unique array of destination ids whose in-edge set
+    changed — the seeds the incremental frontier needs besides the
+    feature-dirty nodes.
+
+    All validation happens before the first write
+    (:func:`validate_delta_against_graph`): a rejected delta must leave the
+    graph untouched, or the session it belongs to would be wedged between a
+    half-applied graph and a fingerprint that no longer matches.
+    """
+    validate_delta_against_graph(graph, delta)
+    removing = delta.removed_edge_ids is not None and delta.removed_edge_ids.size > 0
+    adding = delta.added_src is not None and delta.added_src.size > 0
 
     topo_dirty: List[np.ndarray] = []
     if delta.has_feature_changes:

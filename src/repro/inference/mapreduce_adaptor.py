@@ -450,6 +450,34 @@ def patch_input_records(input_records: List[Record], working_graph: Graph,
         input_records[g] = (g, (features[g], nbrs, efeats))
 
 
+def patch_record_adjacency(input_records: List[Record], working_graph: Graph,
+                           source_ids: np.ndarray) -> None:
+    """Splice an edge delta's adjacency changes into the cached records.
+
+    ``source_ids`` lists the working-graph nodes whose *out-edge* set changed
+    (removal survivors' sources plus the — already mirror-assigned — sources
+    of appended edges).  Each touched record gets its neighbour array and
+    edge-feature block rebuilt from the working graph's current adjacency
+    index; feature rows are untouched.  Because
+    :meth:`~repro.graph.graph.Graph._build_index` sorts edges by source with
+    a *stable* argsort, the rebuilt payloads are byte-identical to what a
+    fresh :func:`build_input_records` over the patched graph would produce.
+    Requires the same id-indexed invariant as :func:`patch_input_records`.
+    """
+    edge_features = working_graph.edge_features
+    for g in np.unique(np.asarray(source_ids, dtype=np.int64)).tolist():
+        node_id, (features, _, _) = input_records[g]
+        if int(node_id) != g:
+            raise RuntimeError(
+                f"input_records are no longer id-indexed (record {g} is keyed "
+                f"{node_id}); re-plan instead of patching")
+        nbrs = working_graph.out_neighbors(g).copy()
+        efeats = None
+        if edge_features is not None:
+            efeats = edge_features[working_graph.out_edge_ids(g)]
+        input_records[g] = (g, (features, nbrs, efeats))
+
+
 def _filter_scatter_records(records: List[Record], keep: Set[int],
                             layout: Optional[ClusterLayout],
                             num_reducers: int) -> List[Record]:
@@ -536,19 +564,25 @@ def run_mapreduce_inference_incremental(
         plan: StrategyPlan, shadow_plan: Optional[ShadowNodePlan],
         metrics: MetricsCollector, input_records: List[Record],
         cached_scores: np.ndarray, feature_dirty: np.ndarray,
+        topo_dirty: Optional[np.ndarray] = None,
         layout: Optional[ClusterLayout] = None,
         executor: Optional[Executor] = None) -> Dict[str, np.ndarray]:
-    """Replay only the feature delta's dependency closure; splice the rest.
+    """Replay only the delta's dependency closure; splice the rest.
 
     ``cached_scores`` is the score matrix of the last full run on this plan
     (pre-delta scores are still exact for every node outside the delta's
-    k-hop out-reach).  The restricted run recomputes the reach — walking the
-    per-round closures described in the module docstring — and splices its
-    output records into a copy of the cache.  Agreement with a full recompute
-    is tolerance-level (~1e-15), not bit-exact; see the module docstring.
+    k-hop out-reach).  ``topo_dirty`` carries the destinations whose in-edge
+    set an edge delta changed; they join the frontier at the first gather
+    exactly as in :func:`~repro.inference.delta.expand_frontier`.  The
+    restricted run recomputes the reach — walking the per-round closures
+    described in the module docstring — and splices its output records into a
+    copy of the cache.  Agreement with a full recompute is tolerance-level
+    (~1e-15), not bit-exact; see the module docstring.
     """
     working_graph = shadow_plan.graph if shadow_plan is not None else graph
     num_layers = model.num_layers
+    if topo_dirty is None:
+        topo_dirty = np.empty(0, dtype=np.int64)
 
     def close(ids: np.ndarray) -> np.ndarray:
         ids = np.unique(np.asarray(ids, dtype=np.int64))
@@ -556,8 +590,7 @@ def run_mapreduce_inference_incremental(
             return ids
         return shadow_plan.replicas_of(ids)
 
-    frontiers = expand_frontier(working_graph, feature_dirty,
-                                np.empty(0, dtype=np.int64),
+    frontiers = expand_frontier(working_graph, feature_dirty, topo_dirty,
                                 num_layers + 1, shadow_plan)
     if frontiers[num_layers].size == 0:
         return {"scores": cached_scores.copy()}

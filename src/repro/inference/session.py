@@ -50,6 +50,7 @@ from repro.inference.delta import (
     StalePlanError,
     apply_delta_to_graph,
     graph_fingerprint,
+    validate_delta_against_graph,
 )
 from repro.inference.strategies import StrategyPlan
 
@@ -188,6 +189,7 @@ class InferenceSession:
         # long-lived serving session does not accumulate score matrices.
         self._last_result: Optional[InferenceResult] = None
         self._num_runs = 0
+        self._num_replans = 0
         self._total_wall_clock_seconds = 0.0
         self._total_cpu_minutes = 0.0
         self._total_bytes = 0.0
@@ -211,6 +213,15 @@ class InferenceSession:
     def num_pending_deltas(self) -> int:
         """Deferred deltas buffered since the last flush (0 when none)."""
         return 0 if self._pending is None else self._pending.num_pending
+
+    @property
+    def num_replans(self) -> int:
+        """How many deltas invalidated the cached plan and forced a full
+        re-``prepare()`` (explicit ``prepare()`` calls are not counted).
+        The streaming soak harness aggregates this across a pool to assert
+        that stable-hub edge churn never re-plans.
+        """
+        return self._num_replans
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -341,7 +352,7 @@ class InferenceSession:
         partitions / cached input records through the cluster layout, shadow
         mirror copies refreshed, hub thresholds re-checked — and the dirty
         region accumulates until the next :meth:`infer`.  When the delta
-        invalidates the plan (hub set changed, mirror slices reshuffled) or
+        invalidates the plan (hub set changed, mirror-group counts moved) or
         the backend has no hook (khop), the delta still lands on the graph
         and the session transparently re-plans — the full-recompute default.
         Either way the fingerprint is refreshed, so a following :meth:`infer`
@@ -397,6 +408,11 @@ class InferenceSession:
                 self.flush_deltas()
             if delta.is_empty:
                 return DeltaOutcome(in_place=True)
+            # Validate at the API boundary (same checks the deferred path's
+            # DeltaBuffer.add performs): a malformed delta — wrong edge-feature
+            # width, out-of-range ids — fails here with the graph, the plan and
+            # the backend caches all untouched.
+            validate_delta_against_graph(self._plan.graph, delta)
             return self._apply_delta_now(delta)
 
     def flush_deltas(self) -> DeltaOutcome:
@@ -466,6 +482,7 @@ class InferenceSession:
         # (NodeTable, EdgeTable) pair this session was prepared from) valid as
         # an ``infer(source)`` target — re-ingesting it would resurrect the
         # pre-delta edge arrays.
+        self._num_replans += 1
         source = self._source
         self.prepare(self._plan.graph)
         self._plan.delta_seen = True     # the session serves a drifting graph

@@ -14,6 +14,15 @@ mirrors and to read final predictions only from original node ids.  The map
 is stored as flat CSR arrays (``replica_indptr`` / ``replica_ids``) over the
 expanded id space, so destination expansion is a pure repeat/gather pass with
 no per-row Python.
+
+**Position-stable slices.**  A hub's out-edges are assigned to mirror slots
+by :func:`_mirror_slot` — a pure hash of the edge's endpoints — rather than
+by their positions in ``src``/``dst``.  A fresh rewrite and an in-place patch
+(:meth:`ShadowNodePlan.patch_edge_delta`) therefore give every edge the same
+mirror, so an edge delta whose hub set and per-hub group counts survive the
+threshold re-check (:meth:`ShadowNodePlan.mirror_groups_stable`) extends and
+shrinks mirror slices without moving any surviving edge — the invariant that
+lets the backends patch live partitions instead of re-planning.
 """
 
 from __future__ import annotations
@@ -25,7 +34,39 @@ import numpy as np
 
 from repro.cluster.layout import csr_gather
 from repro.graph.graph import Graph
+from repro.inference.delta import GraphDelta
 from repro.inference.strategies import select_hubs
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _mirror_slot(src_ids: np.ndarray, dst_ids: np.ndarray,
+                 num_groups: np.ndarray) -> np.ndarray:
+    """Position-stable mirror slot of each hub out-edge.
+
+    A splitmix64-style mix of the edge's endpoints, reduced modulo the hub's
+    group count: slot 0 is the original node, slots 1.. its mirrors.  Being a
+    pure per-edge function — never a function of where the edge sits in the
+    arrays — is what makes a fresh :func:`apply_shadow_nodes` and an in-place
+    :meth:`ShadowNodePlan.patch_edge_delta` agree byte-for-byte: appends land
+    on the same mirror a rewrite would pick, and removals never move a
+    surviving edge to a different mirror.
+    """
+    src_u, dst_u, groups_u = np.broadcast_arrays(
+        np.asarray(src_ids, dtype=np.uint64),
+        np.asarray(dst_ids, dtype=np.uint64),
+        np.asarray(num_groups, dtype=np.uint64))
+    x = dst_u + np.uint64(0x9E3779B97F4A7C15) * (src_u + np.uint64(1))
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    x = x ^ (x >> np.uint64(31))
+    return (x % groups_u).astype(np.int64)
+
+
+def _group_count(degree: np.ndarray, threshold: int, cap: int) -> np.ndarray:
+    """``min(ceil(degree / threshold), max(cap, 1))`` in pure integers."""
+    degree = np.asarray(degree, dtype=np.int64)
+    return np.minimum(-(-degree // threshold), max(cap, 1))
 
 
 @dataclass
@@ -117,6 +158,89 @@ class ShadowNodePlan:
         return replicas
 
     # ------------------------------------------------------------------ #
+    # in-place edge deltas
+    # ------------------------------------------------------------------ #
+    def mirror_groups_stable(self, out_degrees: np.ndarray, threshold: int,
+                             num_workers: int,
+                             max_mirrors: Optional[int] = None) -> bool:
+        """Whether a fresh rewrite would reproduce this plan's mirror layout.
+
+        ``out_degrees`` are the *base* graph's post-delta out-degrees.  The
+        mirror allocation (which nodes get mirrors, how many, which ids) only
+        depends on the hub set and each hub's group count, so an edge delta
+        keeps the plan valid iff every original node's recomputed group count
+        matches the replica CSR's current one — the hub set itself is checked
+        by the caller against the strategy plan.
+        """
+        expected = np.ones(self.original_num_nodes, dtype=np.int64)
+        hubs = select_hubs(out_degrees, threshold)
+        if hubs.size:
+            degrees = np.asarray(out_degrees, dtype=np.int64)[hubs]
+            cap = max_mirrors if max_mirrors is not None else num_workers
+            expected[hubs] = np.maximum(_group_count(degrees, threshold, cap), 1)
+        if self.replica_indptr is None:
+            return bool((expected == 1).all())
+        current = np.diff(self.replica_indptr)[:self.original_num_nodes]
+        return bool(np.array_equal(expected, current))
+
+    def assign_sources(self, src_ids: np.ndarray,
+                       dst_ids: np.ndarray) -> np.ndarray:
+        """Working-graph source id of each ``(src, dst)`` edge under this plan.
+
+        Non-replicated sources map to themselves; a replicated hub's edges go
+        to ``replica_ids[indptr[hub] + slot]`` with the position-stable
+        :func:`_mirror_slot` — exactly the id a fresh rewrite would assign.
+        """
+        src_ids = np.asarray(src_ids, dtype=np.int64)
+        if self.replica_indptr is None or src_ids.size == 0:
+            return src_ids.copy()
+        counts = self.replica_indptr[src_ids + 1] - self.replica_indptr[src_ids]
+        assigned = src_ids.copy()
+        replicated = counts > 1
+        if replicated.any():
+            rows = np.nonzero(replicated)[0]
+            slots = _mirror_slot(src_ids[rows],
+                                 np.asarray(dst_ids, dtype=np.int64)[rows],
+                                 counts[rows])
+            assigned[rows] = self.replica_ids[
+                self.replica_indptr[src_ids[rows]] + slots]
+        return assigned
+
+    def patch_edge_delta(self, base_graph: Graph,
+                         delta: GraphDelta) -> np.ndarray:
+        """Splice ``delta``'s edge changes into the expanded working graph.
+
+        The caller has already landed ``delta`` on ``base_graph`` and verified
+        the hub set and :meth:`mirror_groups_stable`.  The expanded graph
+        keeps base edge *order* (only hub sources are rewritten to mirror
+        ids), so the delta's removal positions apply one-to-one; appends get
+        their position-stable mirror assignment.  The result is byte-identical
+        to a fresh :func:`apply_shadow_nodes` over the post-delta base graph.
+        Returns the working-graph source id assigned to each appended edge.
+        """
+        added = (delta.added_src is not None and delta.added_src.size > 0)
+        assigned = (self.assign_sources(delta.added_src, delta.added_dst)
+                    if added else _EMPTY_IDS)
+        if self.graph is base_graph:
+            # No mirrors: the working graph IS the base graph, and the delta
+            # already landed there.
+            return assigned
+        src, dst = self.graph.src, self.graph.dst
+        if delta.removed_edge_ids is not None and delta.removed_edge_ids.size:
+            keep = np.ones(src.size, dtype=bool)
+            keep[delta.removed_edge_ids] = False
+            src, dst = src[keep], dst[keep]
+        if added:
+            src = np.concatenate([src, assigned])
+            dst = np.concatenate([dst, delta.added_dst])
+        self.graph.src, self.graph.dst = src, dst
+        # The expanded graph shares the base edge-feature buffer; the base
+        # application swapped it for a patched array, so re-point the share.
+        self.graph.edge_features = base_graph.edge_features
+        self.graph.invalidate_adjacency()
+        return assigned
+
+    # ------------------------------------------------------------------ #
     def expand_destinations(self, dst_ids: np.ndarray, payload: np.ndarray,
                             counts: Optional[np.ndarray] = None,
                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -192,6 +316,13 @@ def apply_shadow_nodes(graph: Graph, threshold: int, num_workers: int,
     ``ceil(d / threshold)`` capped at ``num_workers`` (one mirror per worker is
     the most the strategy can ever use).  Mirror ids are allocated past the
     original id range; mirror features/labels are copies of the original's.
+
+    Each out-edge's slot is the position-stable :func:`_mirror_slot` hash of
+    its endpoints, so the slices stay balanced in expectation while an edge
+    delta (:meth:`ShadowNodePlan.patch_edge_delta`) can extend or shrink them
+    without reshuffling survivors.  Every slot's mirror is allocated even
+    when the hash leaves it momentarily empty — mirror ids must be a function
+    of the hub set and group counts alone, never of slot occupancy.
     """
     if threshold <= 0:
         raise ValueError("threshold must be positive")
@@ -214,16 +345,17 @@ def apply_shadow_nodes(graph: Graph, threshold: int, num_workers: int,
         hub = int(hub)
         edge_positions = graph.out_edge_ids(hub)
         degree = edge_positions.size
-        num_groups = min(int(np.ceil(degree / threshold)), max(cap, 1))
+        num_groups = int(_group_count(degree, threshold, cap))
         if num_groups <= 1:
             continue
-        groups = np.array_split(edge_positions, num_groups)
+        slots = _mirror_slot(np.full(degree, hub, dtype=np.int64),
+                             graph.dst[edge_positions], num_groups)
         replica_ids = [hub]
-        # Group 0 stays with the original node; groups 1.. go to fresh mirrors.
-        for group in groups[1:]:
+        # Slot 0 stays with the original node; slots 1.. go to fresh mirrors.
+        for slot in range(1, num_groups):
             mirror_id = next_id
             next_id += 1
-            new_src[group] = mirror_id
+            new_src[edge_positions[slots == slot]] = mirror_id
             replica_ids.append(mirror_id)
             mirror_origin[mirror_id] = hub
             if graph.node_features is not None:

@@ -139,6 +139,10 @@ class SoakConfig:
     #: a mid-soak re-plan — the regime where in-place edge patching (and the
     #: shm-segment ceiling it guarantees) is the contract under test.
     hub_threshold_override: Optional[int] = 1_000_000
+    #: Run the faulted and oracle stacks with the shadow-node rewrite on.
+    #: Edge churn must stay in place under shadow too (position-stable mirror
+    #: assignment), so soaks gate ``SoakReport.replans`` at zero either way.
+    shadow_nodes: bool = False
 
     def resolved_tolerance(self) -> float:
         if self.tolerance is not None:
@@ -185,6 +189,12 @@ class SoakReport:
     snapshot_digests: Dict[str, List[int]]
     max_shm_segments: int
     final_shm_segments: int
+    #: Highest per-tick census of delta-forced full re-plans summed over the
+    #: faulted pool's live sessions (an evicted session takes its count with
+    #: it, so on fault-free runs this equals the total).  The stable-hub SLO
+    #: gate asserts 0: edge churn that preserves the hub set must patch in
+    #: place, never re-plan.
+    replans: int
     max_worker_processes: int
     p50_tick_seconds: float
     p99_tick_seconds: float
@@ -225,6 +235,7 @@ class SoakReport:
                                  in self.snapshot_digests.items()},
             "max_shm_segments": self.max_shm_segments,
             "final_shm_segments": self.final_shm_segments,
+            "replans": self.replans,
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -248,7 +259,8 @@ class SoakReport:
                 f"{self.ticks} tick(s), {self.deltas_delivered} delta(s), "
                 f"{self.infers_served} infer(s), {self.oracle_checks} oracle "
                 f"check(s) / {self.mismatches} mismatch(es), {self.crashes} "
-                f"crash(es) ({self.recoveries} recovered), shm "
+                f"crash(es) ({self.recoveries} recovered), "
+                f"{self.replans} re-plan(s), shm "
                 f"{self.max_shm_segments} max / {self.final_shm_segments} "
                 f"final, p50 {self.p50_tick_seconds * 1e3:.1f} ms / "
                 f"p99 {self.p99_tick_seconds * 1e3:.1f} ms, "
@@ -276,7 +288,8 @@ def _make_config(cfg: SoakConfig, executor: str) -> InferenceConfig:
     return InferenceConfig(
         backend=cfg.backend, num_workers=cfg.num_workers, executor=executor,
         strategies=StrategyConfig(
-            partial_gather=True, broadcast=False, shadow_nodes=False,
+            partial_gather=True, broadcast=False,
+            shadow_nodes=cfg.shadow_nodes,
             hub_threshold_override=cfg.hub_threshold_override))
 
 
@@ -360,6 +373,7 @@ class _SoakState:
         self.snapshot_digests: Dict[str, List[int]] = {}
         self.max_shm_segments = 0
         self.final_shm_segments = 0
+        self.replans = 0
         self.max_worker_processes = 0
         self.max_rss_bytes = 0
         self.window = LatencyWindow(maxlen=4096)
@@ -439,6 +453,8 @@ async def _replay(cfg: SoakConfig, trace: WorkloadTrace, pool: SessionPool,
         segments, processes = _pool_resource_census(pool)
         state.max_shm_segments = max(state.max_shm_segments, segments)
         state.final_shm_segments = segments
+        state.replans = max(state.replans,
+                            sum(s.num_replans for s in pool.sessions()))
         state.max_worker_processes = max(state.max_worker_processes, processes)
         state.max_rss_bytes = max(state.max_rss_bytes, _current_rss_bytes())
 
@@ -515,6 +531,7 @@ async def _drive(cfg: SoakConfig) -> SoakReport:
         snapshot_digests=state.snapshot_digests,
         max_shm_segments=state.max_shm_segments,
         final_shm_segments=state.final_shm_segments,
+        replans=state.replans,
         max_worker_processes=state.max_worker_processes,
         p50_tick_seconds=state.window.p50,
         p99_tick_seconds=state.window.p99,

@@ -186,6 +186,55 @@ class TestBackendConformance:
             session.close()
 
 
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEdgeDeltaContract:
+    """In-place edge deltas must be indistinguishable from a re-plan.
+
+    A hub-preserving edge delta (adds from deep non-hub sources, removals
+    whose source stays a deep non-hub) under shadow nodes must return
+    ``DeltaOutcome(in_place=True)`` on the backends with delta hooks, and the
+    following full *and* incremental inferences must match a fresh
+    ``prepare()+infer()`` on the post-delta graph — bit-identical for the
+    exact backends, within 1e-9 on mapreduce — on both executors.
+    """
+
+    def test_in_place_edge_delta_matches_fresh_replan(self, backend, executor):
+        from repro.inference.backends import get_backend
+
+        rng = np.random.default_rng(29)
+        graph = make_graph(seed=19)
+        model = make_model()
+        session = InferenceSession(model, make_config(backend, executor))
+        session.prepare(graph)
+        has_hook = getattr(get_backend(backend), "apply_delta", None) is not None
+        try:
+            session.infer()
+            threshold = session.plan.strategy_plan.threshold
+            degrees = graph.out_degrees()
+            safe_sources = np.nonzero(degrees < threshold - 3)[0]
+            removable = np.nonzero(degrees[graph.src] < threshold - 3)[0]
+            delta = GraphDelta(
+                added_src=rng.choice(safe_sources, size=20, replace=False),
+                added_dst=rng.integers(0, graph.num_nodes, size=20),
+                removed_edge_ids=rng.choice(removable, size=10, replace=False),
+            )
+            outcome = session.apply_delta(delta)
+            if has_hook:
+                assert outcome.in_place, outcome.reason
+            after = session.infer().scores
+            incremental = session.infer(mode="incremental").scores
+
+            fresh = InferenceSession(model, make_config(backend, executor))
+            fresh.prepare(graph)        # graph already carries the delta
+            expected = fresh.infer().scores
+            fresh.close()
+            assert_scores_match(backend, after, expected)
+            assert_scores_match(backend, incremental, expected)
+        finally:
+            session.close()
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestExecutorEquivalence:

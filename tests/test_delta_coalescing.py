@@ -120,6 +120,70 @@ class TestDeltaBufferMerge:
         buffer.add(GraphDelta(removed_edge_ids=np.array([graph.num_edges])))
         assert buffer.merge().is_empty and not buffer.is_empty
 
+    @pytest.mark.parametrize("seed", [9, 10, 11, 12])
+    def test_interleaved_edge_feature_cancellation(self, seed):
+        # Property: on a graph *with edge features*, interleaved appends and
+        # removals — including removals that cancel still-buffered appends —
+        # merge to a delta whose application is byte-identical to sequential
+        # application, with every cancelled edge's feature row dropped
+        # alongside its endpoints.
+        rng = np.random.default_rng(seed)
+        merged_graph = make_graph(seed)
+        merged_graph.edge_features = rng.standard_normal((merged_graph.num_edges, 3))
+        sequential_graph = make_graph(seed)
+        sequential_graph.edge_features = merged_graph.edge_features.copy()
+        buffer = DeltaBuffer(merged_graph)
+        current_edges = sequential_graph.num_edges
+        for step in range(8):
+            kwargs = {}
+            add = int(rng.integers(0, 4)) if step % 2 == 0 else 0
+            if add:
+                kwargs["added_src"] = rng.integers(0, merged_graph.num_nodes, size=add)
+                kwargs["added_dst"] = rng.integers(0, merged_graph.num_nodes, size=add)
+                kwargs["added_edge_features"] = rng.standard_normal((add, 3))
+            remove = int(rng.integers(1, 4)) if step % 2 == 1 else 0
+            if remove:
+                # Bias removals toward the tail so buffered appends are hit
+                # (the virtual edge list keeps appends last).
+                tail = min(current_edges, 12)
+                kwargs["removed_edge_ids"] = (current_edges - 1 - rng.choice(
+                    tail, size=min(remove, tail), replace=False))
+            if not kwargs:
+                continue
+            delta = GraphDelta(**kwargs)
+            buffer.add(delta)
+            apply_delta_to_graph(sequential_graph, GraphDelta(
+                added_src=delta.added_src, added_dst=delta.added_dst,
+                added_edge_features=delta.added_edge_features,
+                removed_edge_ids=delta.removed_edge_ids))
+            current_edges = sequential_graph.num_edges
+        merged = buffer.merge()
+        if merged.added_src is not None:
+            assert merged.added_edge_features is not None
+            assert merged.added_edge_features.shape[0] == merged.added_src.size
+        apply_delta_to_graph(merged_graph, merged)
+        np.testing.assert_array_equal(merged_graph.src, sequential_graph.src)
+        np.testing.assert_array_equal(merged_graph.dst, sequential_graph.dst)
+        np.testing.assert_array_equal(merged_graph.edge_features,
+                                      sequential_graph.edge_features)
+
+    def test_removal_cancels_append_with_edge_features(self):
+        # The cancelled append's feature row must drop *with its edge*: the
+        # surviving appended edge keeps its own row, not the cancelled one's.
+        graph = make_graph(13)
+        rng = np.random.default_rng(13)
+        graph.edge_features = rng.standard_normal((graph.num_edges, 3))
+        base_edges = graph.num_edges
+        buffer = DeltaBuffer(graph)
+        rows = np.arange(6, dtype=np.float64).reshape(2, 3)
+        buffer.add(GraphDelta(added_src=np.array([0, 1]),
+                              added_dst=np.array([2, 3]),
+                              added_edge_features=rows))
+        buffer.add(GraphDelta(removed_edge_ids=np.array([base_edges])))
+        merged = buffer.merge()
+        np.testing.assert_array_equal(merged.added_src, [1])
+        np.testing.assert_array_equal(merged.added_edge_features, rows[1:])
+
     def test_add_validates_against_virtual_state(self):
         graph = make_graph(8)
         buffer = DeltaBuffer(graph)
@@ -163,8 +227,10 @@ class TestDeferredSessions:
                                       eager.infer(mode="incremental").scores)
 
     def test_deferred_edge_deltas_match_eager(self):
-        # Edge deltas with shadow nodes re-plan on flush; the merged re-plan
-        # must land the same graph state the eager path reaches step by step.
+        # Edge deltas patch in place under shadow nodes while the hub set
+        # holds and re-plan transparently when it does not; either way the
+        # merged flush must land the same graph state — and scores — the
+        # eager path reaches step by step.
         rng = np.random.default_rng(31)
         deferred = make_session()
         eager = make_session()

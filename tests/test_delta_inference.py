@@ -349,18 +349,93 @@ class TestEdgeDelta:
         np.testing.assert_array_equal(scores,
                                       fresh_scores(reference, shadow_nodes=False))
 
-    def test_edge_delta_with_shadow_nodes_replans(self):
+    def test_edge_delta_with_shadow_nodes_in_place(self):
+        # The position-stable mirror assignment lets edge deltas patch the
+        # shadow-expanded working graph in place: an in-place outcome must be
+        # bit-identical to a fresh prepare()+infer() over the post-delta graph
+        # with the same (shadow-on) strategies.
+        rng = np.random.default_rng(35)
         graph = make_graph(seed=35)
         session = make_session(graph)          # shadow_nodes=True
         session.prepare(graph)
         session.infer()
-        delta = GraphDelta(added_src=np.array([0, 1]), added_dst=np.array([2, 3]))
+        threshold = session.plan.strategy_plan.threshold
+        degrees = graph.out_degrees()
+        safe_sources = np.nonzero(degrees < threshold - 3)[0]
+        added_src = rng.choice(safe_sources, size=40, replace=False)
+        removable = np.nonzero(degrees[graph.src] < threshold - 3)[0]
+        delta = GraphDelta(
+            added_src=added_src,
+            added_dst=rng.integers(0, graph.num_nodes, size=40),
+            removed_edge_ids=rng.choice(removable, size=20, replace=False),
+        )
+        reference = self._reference_graph(35, GraphDelta(
+            added_src=delta.added_src, added_dst=delta.added_dst,
+            removed_edge_ids=delta.removed_edge_ids))
+        outcome = session.apply_delta(delta)
+        assert outcome.in_place
+        np.testing.assert_array_equal(session.infer().scores,
+                                      fresh_scores(reference))
+
+    def test_edge_delta_onto_hub_out_edges_in_place(self):
+        # Adding/removing a *hub's* out-edges stays in place as long as the
+        # hub's mirror-group count survives; the new edges must land on the
+        # same mirror a fresh rewrite would assign them to.
+        graph = make_graph(seed=36)
+        session = make_session(graph)          # shadow_nodes=True
+        session.prepare(graph)
+        session.infer()
+        assert session.plan.shadow_plan.has_mirrors
+        degrees = graph.out_degrees()
+        threshold = session.plan.strategy_plan.threshold
+        # Pick a hub whose degree is not about to cross a group boundary.
+        hubs = np.nonzero(degrees >= threshold)[0]
+        hub = int(hubs[int(np.argmax(degrees[hubs] % threshold))])
+        hub_edges = np.nonzero(graph.src == hub)[0]
+        delta = GraphDelta(
+            added_src=np.array([hub, hub]),
+            added_dst=np.array([(hub + 1) % graph.num_nodes,
+                                (hub + 2) % graph.num_nodes]),
+            removed_edge_ids=hub_edges[:1],
+        )
+        reference = self._reference_graph(36, GraphDelta(
+            added_src=delta.added_src, added_dst=delta.added_dst,
+            removed_edge_ids=delta.removed_edge_ids))
+        outcome = session.apply_delta(delta)
+        assert outcome.in_place
+        np.testing.assert_array_equal(session.infer().scores,
+                                      fresh_scores(reference))
+
+    def test_mirror_group_count_change_replans(self):
+        # Pushing a hub's degree across the next group boundary changes its
+        # mirror count — the one shadow-specific way an edge delta still
+        # invalidates the plan.
+        graph = make_graph(seed=38)
+        session = make_session(graph)          # shadow_nodes=True
+        session.prepare(graph)
+        session.infer()
+        plan = session.plan
+        assert plan.shadow_plan.has_mirrors
+        threshold = plan.strategy_plan.threshold
+        degrees = graph.out_degrees()
+        original = plan.shadow_plan.original_num_nodes
+        hubs = plan.strategy_plan.out_degree_hubs
+        hubs = hubs[hubs < original]
+        # Round a hub's degree up past its next multiple of the threshold
+        # (group counts are capped at num_workers=4, so pick one below cap).
+        hub = int(hubs[np.argmin(degrees[hubs])])
+        groups = int(-(-degrees[hub] // threshold))
+        assert groups < 4
+        need = (groups * threshold + 1) - int(degrees[hub])
+        delta = GraphDelta(
+            added_src=np.full(need, hub, dtype=np.int64),
+            added_dst=(hub + 1 + np.arange(need, dtype=np.int64)) % graph.num_nodes)
+        reference = self._reference_graph(38, GraphDelta(
+            added_src=delta.added_src, added_dst=delta.added_dst))
         outcome = session.apply_delta(delta)
         assert not outcome.in_place and "mirror" in outcome.reason
-        scores = session.infer().scores
-        reference = self._reference_graph(35, GraphDelta(
-            added_src=np.array([0, 1]), added_dst=np.array([2, 3])))
-        np.testing.assert_array_equal(scores, fresh_scores(reference))
+        np.testing.assert_array_equal(session.infer().scores,
+                                      fresh_scores(reference))
 
     def test_gat_edge_delta_replans(self):
         # Projecting apply_edge runs at edge-table shape; changing the edge
@@ -395,12 +470,12 @@ class TestFallbackBackends:
 
         graph = make_graph(seed=43, num_nodes=300)
         tables = graph_to_tables(graph)
-        session = make_session(graph, backend="mapreduce")
+        session = make_session(graph, backend="khop")
         session.prepare(tables)
         session.infer()
         delta = GraphDelta(added_src=np.array([2, 3]), added_dst=np.array([0, 1]))
         outcome = session.apply_delta(delta)
-        assert not outcome.in_place                      # mapreduce: re-plans
+        assert not outcome.in_place                      # khop: no delta hooks
         after = session.infer().scores
         again = session.infer(tables).scores             # must not re-ingest
         np.testing.assert_array_equal(again, after)
@@ -441,20 +516,60 @@ class TestFallbackBackends:
         np.testing.assert_array_equal(scores,
                                       fresh_scores(reference, backend="mapreduce"))
 
-    def test_mapreduce_edge_delta_still_replans(self):
+    def test_mapreduce_edge_delta_patches_in_place(self):
+        # Hub-preserving edge deltas splice into the cached input records
+        # (no re-plan); the rebuilt adjacency payloads are byte-identical to
+        # a fresh record scan, so full infer() stays bit-identical too.
         graph = make_graph(seed=44, num_nodes=300)
         session = make_session(graph, backend="mapreduce")
         session.prepare(graph)
         session.infer()
+        records_before = session.plan.state["input_records"]
         outcome = session.apply_delta(
             GraphDelta(added_src=np.array([2, 3]), added_dst=np.array([0, 1])))
-        assert not outcome.in_place and "edge" in outcome.reason
+        assert outcome.in_place
+        assert session.plan.state["input_records"] is records_before  # no re-plan
         after = session.infer().scores
         reference = make_graph(seed=44, num_nodes=300)
         apply_delta_to_graph(reference, GraphDelta(
             added_src=np.array([2, 3]), added_dst=np.array([0, 1])))
         np.testing.assert_array_equal(after,
                                       fresh_scores(reference, backend="mapreduce"))
+
+    def test_mapreduce_incremental_after_edge_delta(self):
+        # After an in-place edge delta, incremental inference seeds its
+        # closure from topo_dirty and agrees with a fresh full run to the
+        # repo's 1e-9 equivalence tolerance.
+        rng = np.random.default_rng(46)
+        graph = make_graph(seed=46, num_nodes=300)
+        session = make_session(graph, backend="mapreduce")
+        session.prepare(graph)
+        session.infer()
+        # Prime the lazy score cache with a post-delta full-shaped run.
+        session.apply_delta(random_feature_delta(rng, graph, fraction=0.01))
+        session.infer(mode="incremental")
+        threshold = session.plan.strategy_plan.threshold
+        degrees = graph.out_degrees()
+        safe_sources = np.nonzero(degrees < threshold - 3)[0]
+        added_src = rng.choice(safe_sources, size=10, replace=False)
+        removable = np.nonzero(degrees[graph.src] < threshold - 3)[0]
+        delta = GraphDelta(
+            added_src=added_src,
+            added_dst=rng.integers(0, graph.num_nodes, size=10),
+            removed_edge_ids=rng.choice(removable, size=5, replace=False),
+        )
+        reference = Graph(src=graph.src.copy(), dst=graph.dst.copy(),
+                          node_features=graph.node_features.copy(),
+                          num_nodes=graph.num_nodes)
+        apply_delta_to_graph(reference, GraphDelta(
+            added_src=delta.added_src, added_dst=delta.added_dst,
+            removed_edge_ids=delta.removed_edge_ids))
+        outcome = session.apply_delta(delta)
+        assert outcome.in_place
+        incremental = session.infer(mode="incremental").scores
+        np.testing.assert_allclose(
+            incremental, fresh_scores(reference, backend="mapreduce"),
+            atol=1e-9, rtol=0)
 
 
 # --------------------------------------------------------------------------- #
@@ -510,6 +625,41 @@ class TestGraphDelta:
             apply_delta_to_graph(graph, bad)
         np.testing.assert_array_equal(graph.node_features, np.zeros((2, 2)))
         assert graph.num_edges == 2
+
+    def test_session_rejects_bad_edge_feature_width_at_entry(self):
+        # The eager session path validates at the API boundary (the same
+        # checks DeltaBuffer.add performs on the deferred path): a wrong-width
+        # added_edge_features fails before any graph, plan or cache write.
+        rng = np.random.default_rng(47)
+        graph = make_graph(seed=47, num_nodes=200)
+        graph.edge_features = rng.standard_normal((graph.num_edges, 4))
+        session = make_session(graph)
+        session.prepare(graph)
+        base = session.infer().scores
+        bad = GraphDelta(added_src=np.array([0]), added_dst=np.array([1]),
+                         added_edge_features=np.ones((1, 3)))
+        with pytest.raises(ValueError, match="edge-feature width"):
+            session.apply_delta(bad)
+        np.testing.assert_array_equal(session.infer().scores, base)
+
+    def test_validate_aligns_edge_feature_dtype(self):
+        # Validation aligns the delta's added_edge_features dtype with the
+        # graph's edge-feature buffer so the append never silently upcasts.
+        from repro.inference.delta import validate_delta_against_graph
+
+        graph = Graph(src=np.array([0, 1]), dst=np.array([1, 0]),
+                      node_features=np.zeros((2, 2)),
+                      edge_features=np.zeros((2, 4), dtype=np.float64),
+                      num_nodes=2)
+        delta = GraphDelta(added_src=np.array([0]), added_dst=np.array([1]),
+                           added_edge_features=np.ones((1, 4)))
+        # Simulate a hand-built delta whose rows bypassed __post_init__'s
+        # coercion (e.g. assigned after construction).
+        delta.added_edge_features = delta.added_edge_features.astype(np.float32)
+        validate_delta_against_graph(graph, delta)
+        assert delta.added_edge_features.dtype == graph.edge_features.dtype
+        apply_delta_to_graph(graph, delta)
+        assert graph.edge_features.dtype == np.float64
 
     def test_feature_width_mismatch(self):
         graph = Graph(src=np.array([0]), dst=np.array([1]),

@@ -135,6 +135,24 @@ class TestResourceCeilings:
         assert long.final_shm_segments == short.final_shm_segments
         assert long.max_shm_segments == short.max_shm_segments
 
+    @pytest.mark.parametrize("shadow_nodes", [False, True])
+    def test_stable_hub_edge_churn_never_replans(self, shadow_nodes):
+        # The stable-hub SLO: with the hub threshold pinned high, pure
+        # edge-delta churn must patch every cached plan in place — zero
+        # delta-forced re-plans over the whole stream, shadow rewrite on or
+        # off (position-stable mirror assignment).
+        config = small_soak(
+            workload=WorkloadConfig(seed=17, ticks=12, tenants=2,
+                                    deltas_per_tick=2, feature_fraction=0.0,
+                                    infer_every=3, snapshot_every=4,
+                                    sliding_window=2),
+            executor="serial", use_gateway=False, graph_nodes=80,
+            shadow_nodes=shadow_nodes)
+        report = run_soak(config)
+        assert report.clean
+        assert report.deltas_delivered == report.trace_deltas
+        assert report.replans == 0
+
 
 class TestEnvKnobs:
     def test_soak_seconds_default_and_override(self, monkeypatch):
